@@ -1,0 +1,285 @@
+// Command flit is the reproduction's command-line interface: it runs the
+// FLiT compilation matrix over the MFEM examples, root-causes variability
+// with Bisect, and regenerates every table and figure of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	flit run [-test ExampleNN]              run the 244-compilation matrix
+//	flit bisect -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
+//	flit experiments <table1|figure4|figure5|figure6|table2|table3|
+//	                  findings|motivation|table4|laghos-nan|table5|mpi|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/comp"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bisect":
+		err = cmdBisect(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flit:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  flit run [-test ExampleNN]
+  flit bisect -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
+  flit experiments <name|all>`)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	test := fs.String("test", "", "restrict output to one test (e.g. Example05)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.MFEMResults()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-46s %-10s %-12s %s\n", "test", "compilation", "speedup", "compare", "class")
+	for _, name := range res.TestNames() {
+		if *test != "" && name != *test {
+			continue
+		}
+		for _, rr := range res.SortedBySpeed(name) {
+			class := "bitwise-equal"
+			if rr.Variable() {
+				class = "VARIABLE"
+			}
+			fmt.Printf("%-12s %-46s %-10.3f %-12.3g %s\n",
+				name, rr.Comp, res.Speedup(rr), rr.CompareVal, class)
+		}
+	}
+	return nil
+}
+
+func parseCompilation(s string) (comp.Compilation, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return comp.Compilation{}, fmt.Errorf("compilation %q: want 'compiler -Olevel [switches]'", s)
+	}
+	return comp.Compilation{
+		Compiler: fields[0],
+		OptLevel: fields[1],
+		Switches: strings.Join(fields[2:], " "),
+	}, nil
+}
+
+func cmdBisect(args []string) error {
+	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
+	test := fs.String("test", "", "test name (e.g. Example13)")
+	compStr := fs.String("comp", "", "variable compilation, e.g. 'g++ -O3 -mavx2 -mfma'")
+	k := fs.Int("k", 0, "find only the top-k contributors (0 = all, with verification)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *test == "" || *compStr == "" {
+		return fmt.Errorf("bisect requires -test and -comp")
+	}
+	variable, err := parseCompilation(*compStr)
+	if err != nil {
+		return err
+	}
+	wf := experiments.MFEMWorkflow()
+	tc := wf.TestByName(*test)
+	if tc == nil {
+		return fmt.Errorf("unknown test %q (Example01..Example19)", *test)
+	}
+	report, err := wf.Bisect(tc, variable, *k)
+	if err != nil {
+		return err
+	}
+	if report.NoVariability {
+		fmt.Println("no variability attributable to compiled files",
+			"(it may come from the link step)")
+		return nil
+	}
+	fmt.Printf("executions: %d\n", report.Execs)
+	for _, ff := range report.Files {
+		fmt.Printf("file %-22s magnitude %-12.4g symbols: %s\n", ff.File, ff.Value, ff.Status)
+		for _, sf := range ff.Symbols {
+			fmt.Printf("    %-40s %.4g\n", sf.Item, sf.Value)
+		}
+	}
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	names := args
+	if args[0] == "all" {
+		names = []string{"table1", "figure4", "figure5", "figure6", "table3",
+			"findings", "motivation", "table4", "laghos-nan", "table2", "table5", "mpi"}
+	}
+	for _, name := range names {
+		fmt.Printf("=== %s ===\n", name)
+		if err := runExperiment(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runExperiment(name string) error {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+	case "figure4":
+		for _, ex := range []int{5, 9} {
+			s, err := experiments.Figure4(ex)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: %d compilations\n", s.Example, len(s.Points))
+			if s.HasEqual {
+				fmt.Printf("  fastest bitwise equal: %-40s speedup %.3f\n",
+					s.FastestEqual.Comp, s.FastestEqual.Speedup)
+			}
+			if s.HasVariable {
+				fmt.Printf("  fastest variable:      %-40s speedup %.3f  variability %.3g\n",
+					s.FastestVariable.Comp, s.FastestVariable.Speedup, s.FastestVariable.Error)
+			}
+		}
+	case "figure5":
+		rows, err := experiments.Figure5()
+		if err != nil {
+			return err
+		}
+		repro := 0
+		fmt.Printf("%-8s %-10s %-10s %-10s %-12s %s\n",
+			"example", "g++", "clang++", "icpc", "variable", "fastest-reproducible")
+		for _, r := range rows {
+			bar := func(c string) string {
+				if v, ok := r.EqualByCompiler[c]; ok {
+					return fmt.Sprintf("%.3f", v)
+				}
+				return "-"
+			}
+			va := "-"
+			if r.HasVariable {
+				va = fmt.Sprintf("%.3f", r.FastestVariable)
+			}
+			if r.FastestIsReproducible {
+				repro++
+			}
+			fmt.Printf("%-8d %-10s %-10s %-10s %-12s %v\n", r.Example,
+				bar(comp.GCC), bar(comp.Clang), bar(comp.ICPC), va, r.FastestIsReproducible)
+		}
+		fmt.Printf("%d of 19 examples fastest with a bitwise-reproducible compilation (paper: 14)\n", repro)
+	case "figure6":
+		rows, err := experiments.Figure6()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-14s %-12s %-12s %s\n", "example", "# variable/244", "min err", "median err", "max err")
+		for _, r := range rows {
+			if r.VariableComps == 0 {
+				fmt.Printf("%-8d %-14d (invariant)\n", r.Example, 0)
+				continue
+			}
+			fmt.Printf("%-8d %-14d %-12.3g %-12.3g %.3g\n",
+				r.Example, r.VariableComps, r.MinErr, r.MedianErr, r.MaxErr)
+		}
+	case "table2":
+		rows, total, err := experiments.Table2(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("variable (test, compilation) pairs bisected: %d\n", total)
+		fmt.Print(experiments.RenderTable2(rows))
+	case "table3":
+		fmt.Printf("%-30s %-12s %s\n", "metric", "measured", "paper")
+		for _, r := range experiments.Table3() {
+			fmt.Printf("%-30s %-12.5g %.6g\n", r.Metric, r.Measured, r.Paper)
+		}
+	case "findings":
+		fs, err := experiments.Findings()
+		if err != nil {
+			return err
+		}
+		for _, f := range fs {
+			fmt.Printf("Example %d: max relative error %.3g, %d compilations examined\n",
+				f.Example, f.MaxRelErr, len(f.Compilations))
+			for _, fn := range f.Functions {
+				fmt.Printf("    %s\n", fn)
+			}
+		}
+	case "motivation":
+		mo, err := experiments.RunMotivation()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("xlc++ -O2: energy norm %.1f, %.1f s\n", mo.NormO2, mo.SecondsO2)
+		fmt.Printf("xlc++ -O3: energy norm %.1f, %.1f s\n", mo.NormO3, mo.SecondsO3)
+		fmt.Printf("relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n",
+			100*mo.RelDiff, mo.SpeedupFactor)
+	case "table4":
+		rows, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable4(rows))
+	case "laghos-nan":
+		res, err := experiments.RunNaNBug()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("executions: %d (paper: 45)\nsymbols:\n", res.Execs)
+		for _, s := range res.Symbols {
+			fmt.Printf("    %s\n", s)
+		}
+	case "table5":
+		sum, err := experiments.Table5(1)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable5(sum))
+	case "table5-sample":
+		sum, err := experiments.Table5(13)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable5(sum))
+	case "mpi":
+		rows, err := experiments.MPIStudy(4, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderMPI(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// laghos-bisect reproduces the paper's Laghos case study (§1 and §3.4): the
+// 11.2%/2.42x motivating incident, the automated re-discovery of the
+// NaN-producing XOR-swap macro, and the digit-limited Bisect that isolates
+// the exact q == 0.0 comparison — including the developers' epsilon fix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/laghos"
+	"repro/internal/comp"
+	"repro/internal/experiments"
+	"repro/internal/link"
+)
+
+func main() {
+	// The motivating example: xlc++ -O2 -> -O3.
+	mo, err := experiments.RunMotivation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Motivating incident (paper §1):")
+	fmt.Printf("  xlc++ -O2: energy norm %10.1f   runtime %5.1f s\n", mo.NormO2, mo.SecondsO2)
+	fmt.Printf("  xlc++ -O3: energy norm %10.1f   runtime %5.1f s\n", mo.NormO3, mo.SecondsO3)
+	fmt.Printf("  relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n\n",
+		100*mo.RelDiff, mo.SpeedupFactor)
+
+	// The public-branch NaN bug.
+	nan, err := experiments.RunNaNBug()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NaN bug re-discovery: %d executions (paper: 45); symbols:\n", nan.Execs)
+	for _, s := range nan.Symbols {
+		fmt.Printf("  -> %s\n", s)
+	}
+
+	// Table 4: digit-limited bisect against three baselines.
+	fmt.Println("\nTable 4 — Bisect statistics (files/funcs/runs for k = 1, 2, all):")
+	rows, err := experiments.Table4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderTable4(rows))
+
+	// The developers' fix restores agreement.
+	fixed := laghos.Options{EpsilonFix: true}
+	base, _ := link.FullBuild(laghos.Program(), comp.Compilation{Compiler: comp.XLC, OptLevel: "-O2"})
+	o3, _ := link.FullBuild(laghos.Program(), comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"})
+	mb, _ := base.NewMachine()
+	m3, _ := o3.NewMachine()
+	sb := laghos.Simulate(mb, fixed, 0.4)
+	s3 := laghos.Simulate(m3, fixed, 0.4)
+	nb := laghos.EnergyNorm(mb, sb.E)
+	n3 := laghos.EnergyNorm(m3, s3.E)
+	fmt.Printf("\nwith the epsilon-comparison fix: norms %.6g vs %.6g (%.2g%% apart)\n",
+		nb, n3, 100*abs(n3-nb)/nb)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,108 @@
+// Quickstart: define a FLiT test case for your own numerical kernel, run it
+// under the full compilation matrix, and root-cause any variability with
+// Bisect — the paper's Figure 1 workflow end to end on a 30-line program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/comp"
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/prog"
+)
+
+// Step 1: describe your "source tree". One file, two functions: a dot
+// product kernel (hot: optimizers love it) and a driver.
+func program() *prog.Program {
+	p := prog.New("quickstart")
+	p.AddFile("kernel.cpp",
+		&prog.Symbol{Name: "DotKernel", Exported: true, Work: 4, FPOps: 4,
+			Features: prog.Features{Reduction: true, MulAdd: true, Hot: true}},
+		&prog.Symbol{Name: "Scale", Exported: true, Work: 1, FPOps: 1,
+			Features: prog.Features{ShortExpr: true}},
+	)
+	p.AddFile("main.cpp",
+		&prog.Symbol{Name: "main_quickstart", Exported: true, Work: 1, FPOps: 2,
+			Callees: []string{"DotKernel", "Scale"}},
+	)
+	return p
+}
+
+// Step 2: write the FLiT test case — the paper's four-method protocol.
+type myTest struct{ p *prog.Program }
+
+func (t *myTest) Name() string               { return "Quickstart" }
+func (t *myTest) Root() string               { return "main_quickstart" }
+func (t *myTest) GetInputsPerRun() int       { return 1 }
+func (t *myTest) GetDefaultInput() []float64 { return []float64{0.7} }
+
+func (t *myTest) Run(input []float64, m *link.Machine) (flit.Result, error) {
+	_, done := m.Fn("main_quickstart")
+	defer done()
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = math.Sin(input[0] + float64(i)*0.01)
+	}
+	envK, doneK := m.Fn("DotKernel")
+	v := envK.Dot(xs, xs)
+	doneK()
+	envS, doneS := m.Fn("Scale")
+	v = envS.Mul(v, 0.25)
+	doneS()
+	return flit.ScalarResult(v), nil
+}
+
+func (t *myTest) Compare(baseline, other flit.Result) float64 {
+	return flit.L2Diff(baseline, other)
+}
+
+func main() {
+	p := program()
+	wf := &core.Workflow{
+		Suite: &flit.Suite{
+			Prog:      p,
+			Tests:     []flit.TestCase{&myTest{p: p}},
+			Baseline:  comp.Baseline(),      // trusted: g++ -O0
+			Reference: comp.PerfReference(), // speedups vs g++ -O2
+		},
+		Matrix: comp.Matrix(), // all 244 compilations of the study
+	}
+
+	// Level 1 + 2: which compilations deviate, and what does speed cost?
+	analysis, err := wf.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := analysis.Recommendations()[0]
+	fmt.Printf("fastest bitwise-reproducible: %-40s speedup %.3f\n",
+		rec.FastestEqual.Comp, rec.FastestEqualSpeedup)
+	fmt.Printf("fastest overall:              %-40s speedup %.3f (reproducible: %v)\n",
+		rec.FastestAny.Comp, rec.FastestAnySpeedup, rec.FastestIsReproducible)
+
+	variable := analysis.Results.VariableRuns()
+	fmt.Printf("variability-inducing compilations: %d of %d\n",
+		len(variable), len(wf.Matrix))
+	if len(variable) == 0 {
+		return
+	}
+
+	// Level 3: root-cause one of them down to the function.
+	target := variable[len(variable)-1].Comp
+	fmt.Printf("\nbisecting %s ...\n", target)
+	report, err := wf.Bisect(wf.Suite.Tests[0], target, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d program executions\n", report.Execs)
+	for _, ff := range report.Files {
+		fmt.Printf("  file %-14s (magnitude %.3g, symbol search: %s)\n",
+			ff.File, ff.Value, ff.Status)
+		for _, sf := range ff.Symbols {
+			fmt.Printf("    -> %s (%.3g)\n", sf.Item, sf.Value)
+		}
+	}
+}

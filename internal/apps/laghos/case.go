@@ -1,0 +1,53 @@
+package laghos
+
+import (
+	"repro/internal/flit"
+	"repro/internal/link"
+)
+
+// Case adapts the mini-Laghos simulation to the flit.TestCase protocol. The
+// result vector is the energy over the mesh; the study compares it with the
+// ℓ2 metric, optionally digit-limited (Table 4).
+type Case struct {
+	Opt Options
+}
+
+// NewCase returns the standard (bug-free apart from the q==0.0 comparison)
+// Laghos test.
+func NewCase() *Case { return &Case{} }
+
+// Name implements flit.TestCase.
+func (c *Case) Name() string {
+	switch {
+	case c.Opt.NaNBug:
+		return "LaghosNaNBug"
+	case c.Opt.EpsilonFix:
+		return "LaghosEpsFix"
+	default:
+		return "Laghos"
+	}
+}
+
+// Root implements flit.TestCase.
+func (c *Case) Root() string { return "main_laghos" }
+
+// GetInputsPerRun implements flit.TestCase.
+func (c *Case) GetInputsPerRun() int { return 1 }
+
+// GetDefaultInput implements flit.TestCase.
+func (c *Case) GetDefaultInput() []float64 { return []float64{0.4} }
+
+// Run implements flit.TestCase: it returns the cell energies followed by
+// the energy norm the motivating example quotes.
+func (c *Case) Run(input []float64, m *link.Machine) (flit.Result, error) {
+	st := Simulate(m, c.Opt, input[0])
+	norm := EnergyNorm(m, st.E)
+	vol := Volume(m, st)
+	out := append(append([]float64(nil), st.E...), norm, vol)
+	return flit.VecResult(out), nil
+}
+
+// Compare implements flit.TestCase.
+func (c *Case) Compare(baseline, other flit.Result) float64 {
+	return flit.L2Diff(baseline, other)
+}

@@ -1,0 +1,42 @@
+package lulesh
+
+import (
+	"repro/internal/flit"
+	"repro/internal/link"
+)
+
+// Case adapts the mini-LULESH run to the flit.TestCase protocol for the
+// injection study.
+type Case struct {
+	// Steps sizes the run; 0 means the study default (12).
+	Steps int
+}
+
+// NewCase returns the standard LULESH test case.
+func NewCase() *Case { return &Case{} }
+
+// Name implements flit.TestCase.
+func (c *Case) Name() string { return "LULESH" }
+
+// Root implements flit.TestCase.
+func (c *Case) Root() string { return "main_lulesh" }
+
+// GetInputsPerRun implements flit.TestCase.
+func (c *Case) GetInputsPerRun() int { return 1 }
+
+// GetDefaultInput implements flit.TestCase.
+func (c *Case) GetDefaultInput() []float64 { return []float64{0.25} }
+
+// Run implements flit.TestCase.
+func (c *Case) Run(input []float64, m *link.Machine) (flit.Result, error) {
+	steps := c.Steps
+	if steps == 0 {
+		steps = 12
+	}
+	return flit.VecResult(Run(m, steps, input[0])), nil
+}
+
+// Compare implements flit.TestCase.
+func (c *Case) Compare(baseline, other flit.Result) float64 {
+	return flit.L2Diff(baseline, other)
+}

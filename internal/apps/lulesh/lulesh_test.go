@@ -1,0 +1,200 @@
+package lulesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comp"
+	"repro/internal/flit"
+	"repro/internal/fp"
+	"repro/internal/link"
+)
+
+var clangO2 = comp.Compilation{Compiler: comp.Clang, OptLevel: "-O2"}
+
+func machineFor(t *testing.T, c comp.Compilation) *link.Machine {
+	t.Helper()
+	ex, err := link.FullBuild(Program(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ex.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestProgramValid(t *testing.T) {
+	p := Program()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().TotalFPOps; got != TotalInjectionSites {
+		t.Fatalf("registry declares %d FP ops, want %d", got, TotalInjectionSites)
+	}
+	for _, s := range p.Symbols() {
+		for _, c := range s.Callees {
+			if p.Symbol(c) == nil {
+				t.Errorf("symbol %s lists unknown callee %s", s.Name, c)
+			}
+		}
+	}
+}
+
+func TestSimulationSanity(t *testing.T) {
+	m := machineFor(t, clangO2)
+	out := Run(m, 12, 0.25)
+	if len(out) != 16+17+3 {
+		t.Fatalf("output length %d", len(out))
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("output[%d] = %g", i, v)
+		}
+	}
+	// The shock must propagate: element 1 gains energy over its initial
+	// 1e-6 while total energy stays positive and bounded.
+	if out[1] <= 1e-6 {
+		t.Fatalf("no energy propagation: e[1] = %g", out[1])
+	}
+	if out[0] <= 0 || out[0] > 10 {
+		t.Fatalf("origin energy %g out of range", out[0])
+	}
+	// Nodes ordered.
+	x := out[16 : 16+17]
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			t.Fatalf("mesh tangled at node %d", i)
+		}
+	}
+}
+
+func TestDeterministicAndSeedSensitive(t *testing.T) {
+	a := Run(machineFor(t, clangO2), 12, 0.25)
+	b := Run(machineFor(t, clangO2), 12, 0.25)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	c := Run(machineFor(t, clangO2), 12, 0.35)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestCleanInjectionEnvelopeIsHarmless(t *testing.T) {
+	// An injection with eps=0 and OP' == '+' leaves every value unchanged:
+	// the injection plumbing itself must not perturb results.
+	base := Run(machineFor(t, clangO2), 12, 0.25)
+	ci := clangO2.WithInjection("CalcEnergyForElems",
+		fp.Injection{OpIndex: 3, Op: fp.InjAdd, Eps: 0})
+	got := Run(machineFor(t, ci), 12, 0.25)
+	for i := range base {
+		if base[i] != got[i] {
+			t.Fatalf("eps=0 injection changed output at %d", i)
+		}
+	}
+}
+
+// executedSymbols are the functions this workload runs (everything except
+// the lulesh-util.cc multi-region paths).
+func executedSymbols() []string {
+	var out []string
+	p := Program()
+	unreached := map[string]bool{"AreaFace": true, "CombineDerivs": true,
+		"CalcElemNodeNormals": true}
+	for _, s := range p.Symbols() {
+		if s.FPOps > 0 && !unreached[s.Name] {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+func TestInjectionCoverageFirstAndLastSite(t *testing.T) {
+	// For every executed function, an injection at site 0 and at the last
+	// declared site must be measurable: the paper's pass enumerates real
+	// instructions, so our loop model must reach the whole static range.
+	p := Program()
+	base := Run(machineFor(t, clangO2), 12, 0.25)
+	tc := NewCase()
+	baseRes := flit.VecResult(base)
+	miss := 0
+	var missed []string
+	for _, name := range executedSymbols() {
+		sym := p.MustSymbol(name)
+		for _, site := range []int{0, sym.FPOps - 1} {
+			ci := clangO2.WithInjection(name,
+				fp.Injection{OpIndex: site, Op: fp.InjMul, Eps: 0.5})
+			got := Run(machineFor(t, ci), 12, 0.25)
+			if tc.Compare(baseRes, flit.VecResult(got)) == 0 {
+				miss++
+				missed = append(missed, name)
+			}
+		}
+	}
+	// A few benign sites are expected (values multiplied by zero, cutoff
+	// branches), but the bulk must be measurable.
+	if miss > 12 {
+		t.Fatalf("%d of %d first/last sites benign (%v)", miss,
+			2*len(executedSymbols()), missed)
+	}
+}
+
+func TestUnreachedFunctionsAreBenign(t *testing.T) {
+	base := Run(machineFor(t, clangO2), 12, 0.25)
+	tc := NewCase()
+	baseRes := flit.VecResult(base)
+	for _, name := range []string{"AreaFace", "CombineDerivs", "CalcElemNodeNormals"} {
+		ci := clangO2.WithInjection(name, fp.Injection{OpIndex: 0, Op: fp.InjMul, Eps: 0.9})
+		got := Run(machineFor(t, ci), 12, 0.25)
+		if tc.Compare(baseRes, flit.VecResult(got)) != 0 {
+			t.Fatalf("unreached function %s affected the output", name)
+		}
+	}
+}
+
+func TestUnreachedHelpersStillWork(t *testing.T) {
+	// The multi-region helpers are real code; they are just not part of
+	// this workload. Verify them directly.
+	m := machineFor(t, clangO2)
+	if got := AreaFace(m, 2, 3); got != 12 {
+		t.Fatalf("AreaFace = %g", got)
+	}
+	if got := CombineDerivs(m, []float64{1, 2, 3.5}); got != 6.5 {
+		t.Fatalf("CombineDerivs = %g", got)
+	}
+	norms := CalcElemNodeNormals(m, []float64{2, 4})
+	if len(norms) != 2 || norms[0] != 4 || norms[1] != 16 {
+		t.Fatalf("CalcElemNodeNormals = %v", norms)
+	}
+}
+
+func TestCaseProtocol(t *testing.T) {
+	c := NewCase()
+	if c.Name() != "LULESH" || c.Root() != "main_lulesh" {
+		t.Fatal("identity wrong")
+	}
+	ex, err := link.FullBuild(Program(), clangO2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := flit.RunAll(c, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vec) != 36 {
+		t.Fatalf("result length %d", len(r.Vec))
+	}
+	if c.Compare(r, r) != 0 {
+		t.Fatal("self-compare nonzero")
+	}
+}

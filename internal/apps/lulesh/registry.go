@@ -1,0 +1,153 @@
+// Package lulesh is a miniature Livermore Unstructured Lagrangian Explicit
+// Shock Hydrodynamics proxy in the shape of the LULESH benchmark used for
+// the paper's controlled injection study (§3.5): a staggered-grid explicit
+// hydro step decomposed into the original code's function structure —
+// nodal force/acceleration/velocity/position updates, element kinematics,
+// hourglass control, monotonic Q, an EOS solve, and time constraints.
+//
+// The registry declares 1,094 static floating-point operations across the
+// tree, the number of injection sites the paper enumerates; a site is one
+// (function, static instruction) pair and every site is injected with each
+// of the four OP' operations, giving the study's 4,376 runs. A few
+// functions (the multi-region code paths) are not executed by this
+// workload, so their injections are benign — one of the paper's
+// "not measurable" categories.
+package lulesh
+
+import (
+	"sync"
+
+	"repro/internal/prog"
+)
+
+var (
+	buildOnce sync.Once
+	theProg   *prog.Program
+)
+
+// Program returns the static description of the mini-LULESH source tree.
+func Program() *prog.Program {
+	buildOnce.Do(func() { theProg = buildProgram() })
+	return theProg
+}
+
+// TotalInjectionSites is the number of static FP instructions the paper's
+// first LLVM pass finds in LULESH.
+const TotalInjectionSites = 1094
+
+func buildProgram() *prog.Program {
+	p := prog.New("lulesh")
+	p.AddFile("lulesh.cc",
+		&prog.Symbol{Name: "main_lulesh", Exported: true, Work: 4, FPOps: 10, SLOC: 80,
+			Features: prog.Features{ShortExpr: true},
+			Callees:  []string{"TimeIncrement", "LagrangeLeapFrog"}},
+		&prog.Symbol{Name: "TimeIncrement", Exported: true, Work: 2, FPOps: 8, SLOC: 24,
+			Features: prog.Features{Division: true, Branch: true},
+			Callees:  []string{"CalcTimeConstraintsForElems"}},
+		&prog.Symbol{Name: "LagrangeLeapFrog", Exported: true, Work: 2, FPOps: 0, SLOC: 14,
+			Callees: []string{"LagrangeNodal", "LagrangeElemental"}},
+	)
+	p.AddFile("lulesh-nodal.cc",
+		&prog.Symbol{Name: "LagrangeNodal", Exported: true, Work: 3, FPOps: 6, SLOC: 22,
+			Callees: []string{"CalcForceForNodes", "CalcAccelerationForNodes",
+				"CalcVelocityForNodes", "CalcPositionForNodes"}},
+		&prog.Symbol{Name: "CalcForceForNodes", Exported: true, Work: 5, FPOps: 12, SLOC: 26,
+			Features: prog.Features{Reduction: true},
+			Callees:  []string{"IntegrateStressForElems", "CalcHourglassControlForElems"}},
+		&prog.Symbol{Name: "CalcAccelerationForNodes", Exported: true, Work: 3, FPOps: 10, SLOC: 16,
+			Features: prog.Features{Division: true}},
+		&prog.Symbol{Name: "CalcVelocityForNodes", Exported: true, Work: 3, FPOps: 12, SLOC: 18,
+			Features: prog.Features{MulAdd: true, Branch: true}},
+		&prog.Symbol{Name: "CalcPositionForNodes", Exported: true, Work: 3, FPOps: 10, SLOC: 14,
+			Features: prog.Features{MulAdd: true}},
+	)
+	p.AddFile("lulesh-elems.cc",
+		&prog.Symbol{Name: "LagrangeElemental", Exported: true, Work: 3, FPOps: 6, SLOC: 20,
+			Callees: []string{"CalcLagrangeElements", "CalcQForElems",
+				"ApplyMaterialPropertiesForElems", "UpdateVolumesForElems"}},
+		&prog.Symbol{Name: "CalcLagrangeElements", Exported: true, Work: 4, FPOps: 14, SLOC: 24,
+			Features: prog.Features{MulAdd: true},
+			Callees:  []string{"CalcKinematicsForElems"}},
+		&prog.Symbol{Name: "CalcKinematicsForElems", Exported: false, Work: 6, FPOps: 47, SLOC: 52,
+			Features: prog.Features{MulAdd: true, Division: true},
+			Callees: []string{"CalcElemVolume", "CalcElemCharacteristicLength",
+				"CalcElemShapeFunctionDerivatives"}},
+		&prog.Symbol{Name: "CalcElemVolume", Exported: false, Work: 4, FPOps: 40, SLOC: 40,
+			Features: prog.Features{MulAdd: true, Reduction: true}},
+		&prog.Symbol{Name: "CalcElemCharacteristicLength", Exported: false, Work: 3, FPOps: 24, SLOC: 30,
+			Features: prog.Features{SqrtLibm: true, Division: true}},
+		&prog.Symbol{Name: "UpdateVolumesForElems", Exported: true, Work: 3, FPOps: 12, SLOC: 16,
+			Features: prog.Features{Division: true}},
+		&prog.Symbol{Name: "CalcElemShapeFunctionDerivatives", Exported: false, Work: 4, FPOps: 48, SLOC: 46,
+			Features: prog.Features{MulAdd: true, Division: true}},
+	)
+	p.AddFile("lulesh-stress.cc",
+		&prog.Symbol{Name: "IntegrateStressForElems", Exported: true, Work: 6, FPOps: 36, SLOC: 44,
+			Features: prog.Features{Reduction: true, MulAdd: true},
+			Callees:  []string{"InitStressTermsForElems", "SumElemFaceNormal"}},
+		&prog.Symbol{Name: "InitStressTermsForElems", Exported: false, Work: 2, FPOps: 16, SLOC: 18,
+			Features: prog.Features{ShortExpr: true}},
+		&prog.Symbol{Name: "SumElemFaceNormal", Exported: false, Work: 4, FPOps: 40, SLOC: 36,
+			Features: prog.Features{MulAdd: true, Reduction: true}},
+	)
+	p.AddFile("lulesh-hourglass.cc",
+		&prog.Symbol{Name: "CalcHourglassControlForElems", Exported: true, Work: 6, FPOps: 30, SLOC: 40,
+			Features: prog.Features{MulAdd: true},
+			Callees:  []string{"CalcFBHourglassForceForElems", "VoluDer"}},
+		&prog.Symbol{Name: "CalcFBHourglassForceForElems", Exported: false, Work: 8, FPOps: 80, SLOC: 78,
+			Features: prog.Features{Reduction: true, MulAdd: true, SqrtLibm: true}},
+		&prog.Symbol{Name: "VoluDer", Exported: false, Work: 4, FPOps: 48, SLOC: 40,
+			Features: prog.Features{MulAdd: true}},
+	)
+	p.AddFile("lulesh-q.cc",
+		&prog.Symbol{Name: "CalcQForElems", Exported: true, Work: 4, FPOps: 10, SLOC: 26,
+			Callees: []string{"CalcMonotonicQGradientsForElems", "CalcMonotonicQRegionForElems"}},
+		&prog.Symbol{Name: "CalcMonotonicQGradientsForElems", Exported: false, Work: 6, FPOps: 60, SLOC: 58,
+			Features: prog.Features{Division: true, MulAdd: true}},
+		&prog.Symbol{Name: "CalcMonotonicQRegionForElems", Exported: false, Work: 6, FPOps: 70, SLOC: 66,
+			Features: prog.Features{Branch: true, MulAdd: true, Division: true}},
+	)
+	p.AddFile("lulesh-eos.cc",
+		&prog.Symbol{Name: "ApplyMaterialPropertiesForElems", Exported: true, Work: 4, FPOps: 12, SLOC: 24,
+			Callees: []string{"EvalEOSForElems"}},
+		&prog.Symbol{Name: "EvalEOSForElems", Exported: false, Work: 5, FPOps: 30, SLOC: 38,
+			Features: prog.Features{ShortExpr: true},
+			Callees:  []string{"CalcEnergyForElems", "CalcSoundSpeedForElems"}},
+		&prog.Symbol{Name: "CalcEnergyForElems", Exported: false, Work: 7, FPOps: 90, SLOC: 84,
+			Features: prog.Features{MulAdd: true, Branch: true, Division: true},
+			Callees:  []string{"CalcPressureForElems"}},
+		&prog.Symbol{Name: "CalcPressureForElems", Exported: false, Work: 5, FPOps: 50, SLOC: 40,
+			Features: prog.Features{MulAdd: true, Branch: true}},
+		&prog.Symbol{Name: "CalcSoundSpeedForElems", Exported: false, Work: 4, FPOps: 36, SLOC: 26,
+			Features: prog.Features{SqrtLibm: true, Division: true}},
+	)
+	p.AddFile("lulesh-constraints.cc",
+		&prog.Symbol{Name: "CalcTimeConstraintsForElems", Exported: true, Work: 2, FPOps: 8, SLOC: 18,
+			Callees: []string{"CalcCourantConstraintForElems", "CalcHydroConstraintForElems"}},
+		&prog.Symbol{Name: "CalcCourantConstraintForElems", Exported: false, Work: 3, FPOps: 24, SLOC: 26,
+			Features: prog.Features{SqrtLibm: true, Division: true, Branch: true}},
+		&prog.Symbol{Name: "CalcHydroConstraintForElems", Exported: false, Work: 3, FPOps: 20, SLOC: 22,
+			Features: prog.Features{Division: true, Branch: true}},
+	)
+	// Multi-region and I/O paths not exercised by this workload: their
+	// injection sites are benign ("not measurable" in Table 5).
+	p.AddFile("lulesh-util.cc",
+		&prog.Symbol{Name: "AreaFace", Exported: false, Work: 2, FPOps: 40, SLOC: 30,
+			Features: prog.Features{MulAdd: true},
+			Callees:  nil},
+		&prog.Symbol{Name: "CombineDerivs", Exported: true, Work: 2, FPOps: 45, SLOC: 34,
+			Features: prog.Features{Reduction: true},
+			Callees:  []string{"AreaFace"}},
+		&prog.Symbol{Name: "CalcElemNodeNormals", Exported: true, Work: 3, FPOps: 90, SLOC: 60,
+			Features: prog.Features{MulAdd: true},
+			Callees:  []string{"AreaFace"}},
+	)
+	if err := p.Validate(); err != nil {
+		panic("lulesh: invalid program: " + err.Error())
+	}
+	st := p.Stats()
+	if st.TotalFPOps != TotalInjectionSites {
+		panic("lulesh: registry FP ops do not sum to the paper's 1,094 sites")
+	}
+	return p
+}

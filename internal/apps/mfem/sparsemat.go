@@ -1,0 +1,142 @@
+package mfem
+
+import "repro/internal/link"
+
+// CSR is a compressed-sparse-row matrix (sparsemat.cpp).
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// csrBuilder accumulates entries densely per row (meshes here are small)
+// and compresses with deterministic column ordering.
+type csrBuilder struct {
+	n    int
+	rows []map[int]float64
+}
+
+func newCSRBuilder(n int) *csrBuilder {
+	b := &csrBuilder{n: n, rows: make([]map[int]float64, n)}
+	for i := range b.rows {
+		b.rows[i] = make(map[int]float64, 9)
+	}
+	return b
+}
+
+// add accumulates v into entry (i,j) with plain addition. Assembly order is
+// fixed by the element loop, so accumulation itself is deterministic; the
+// value-changing arithmetic happens inside the integrator kernels.
+func (b *csrBuilder) add(i, j int, v float64) { b.rows[i][j] += v }
+
+func (b *csrBuilder) build() *CSR {
+	c := &CSR{N: b.n, RowPtr: make([]int, b.n+1)}
+	for i, row := range b.rows {
+		c.RowPtr[i] = len(c.Col)
+		// Columns in increasing order for determinism.
+		for j := 0; j < b.n; j++ {
+			if v, ok := row[j]; ok {
+				c.Col = append(c.Col, j)
+				c.Val = append(c.Val, v)
+			}
+		}
+	}
+	c.RowPtr[b.n] = len(c.Col)
+	return c
+}
+
+// rowSlices returns the column indices and values of row i.
+func (c *CSR) rowSlices(i int) ([]int, []float64) {
+	lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+	return c.Col[lo:hi], c.Val[lo:hi]
+}
+
+// SpMult computes y = A·x.
+func SpMult(m *link.Machine, a *CSR, x, y []float64) {
+	env, done := m.Fn("SparseMatrix::Mult")
+	defer done()
+	xs := make([]float64, 0, 16)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.rowSlices(i)
+		xs = xs[:0]
+		for _, j := range cols {
+			xs = append(xs, x[j])
+		}
+		y[i] = env.Dot(vals, xs)
+	}
+}
+
+// SpAddMult computes y += alpha·A·x.
+func SpAddMult(m *link.Machine, alpha float64, a *CSR, x, y []float64) {
+	env, done := m.Fn("SparseMatrix::AddMult")
+	defer done()
+	xs := make([]float64, 0, 16)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.rowSlices(i)
+		xs = xs[:0]
+		for _, j := range cols {
+			xs = append(xs, x[j])
+		}
+		y[i] = env.MulAdd(alpha, env.Dot(vals, xs), y[i])
+	}
+}
+
+// SpInnerProduct returns xᵀ·A·y.
+func SpInnerProduct(m *link.Machine, a *CSR, x, y []float64) float64 {
+	_, done := m.Fn("SparseMatrix::InnerProduct")
+	defer done()
+	tmp := make([]float64, a.N)
+	SpMult(m, a, y, tmp)
+	return Dot(m, x, tmp)
+}
+
+// SpGetDiag extracts the diagonal of A into d.
+func SpGetDiag(m *link.Machine, a *CSR, d []float64) {
+	_, done := m.Fn("SparseMatrix::GetDiag")
+	defer done()
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.rowSlices(i)
+		d[i] = 0
+		for k, j := range cols {
+			if j == i {
+				d[i] = vals[k]
+				break
+			}
+		}
+	}
+}
+
+// JacobiSmooth performs one damped-Jacobi sweep:
+// x' = x + w·D⁻¹·(b - A·x).
+func JacobiSmooth(m *link.Machine, a *CSR, b, x []float64, w float64) {
+	env, done := m.Fn("SparseMatrix::JacobiSmooth")
+	defer done()
+	r := make([]float64, a.N)
+	SpMult(m, a, x, r)
+	d := make([]float64, a.N)
+	SpGetDiag(m, a, d)
+	for i := 0; i < a.N; i++ {
+		res := env.Sub(b[i], r[i])
+		x[i] = env.MulAdd(w, env.Div(res, d[i]), x[i])
+	}
+}
+
+// GaussSeidel performs one forward Gauss-Seidel sweep in place.
+func GaussSeidel(m *link.Machine, a *CSR, b, x []float64) {
+	env, done := m.Fn("SparseMatrix::GaussSeidel")
+	defer done()
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.rowSlices(i)
+		var diag float64 = 1
+		s := b[i]
+		for k, j := range cols {
+			if j == i {
+				diag = vals[k]
+				continue
+			}
+			s = env.Sub(s, env.Mul(vals[k], x[j]))
+		}
+		x[i] = env.Div(s, diag)
+	}
+}

@@ -1,0 +1,147 @@
+// Package comp models compilations: the (Compiler, Optimization Level,
+// Switches) triples of the FLiT paper, the compiler "personalities" that
+// decide which value-changing transformations each triple applies to each
+// function, a deterministic cost model for the performance axis, and the
+// binary-compatibility hazards observed when object files from different
+// compilers are linked together.
+//
+// Real compilers are unavailable in this reproduction (see DESIGN.md), so a
+// compilation is interpreted: it maps every symbol of a program to an
+// fp.Semantics describing the floating-point transformations in force in
+// that function's generated code. Everything is a pure function of the
+// compilation triple and the symbol, made heterogeneous across functions
+// with a deterministic FNV hash — re-running a compilation always produces
+// the same "generated code".
+package comp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/fp"
+)
+
+// Compiler names used throughout the reproduction.
+const (
+	GCC   = "g++"
+	Clang = "clang++"
+	ICPC  = "icpc"
+	XLC   = "xlc++"
+)
+
+// OptLevels is the base optimization ladder used by the MFEM study.
+var OptLevels = []string{"-O0", "-O1", "-O2", "-O3"}
+
+// InjectPlan plants a floating-point perturbation in one function of the
+// compilation, modeling the paper's custom LLVM injection pass (§3.5).
+type InjectPlan struct {
+	Symbol string
+	Inj    fp.Injection
+}
+
+// Compilation is the full configuration of how to compile source files: the
+// paper's triple plus the -fPIC position-independent flag that Symbol Bisect
+// adds, and an optional injection plan.
+type Compilation struct {
+	Compiler string
+	OptLevel string
+	Switches string // a single switch combination, e.g. "-mavx2 -mfma"
+	FPIC     bool
+	Inject   *InjectPlan
+}
+
+// String renders the compilation the way the paper writes it,
+// e.g. "g++ -O2 -funsafe-math-optimizations".
+func (c Compilation) String() string {
+	s := c.Compiler + " " + c.OptLevel
+	if c.Switches != "" {
+		s += " " + c.Switches
+	}
+	if c.FPIC {
+		s += " -fPIC"
+	}
+	return s
+}
+
+// Key is a canonical identity string usable as a map key; it includes the
+// injection plan so injected and clean compilations never collide.
+func (c Compilation) Key() string {
+	k := c.String()
+	if c.Inject != nil {
+		k += fmt.Sprintf(" [inject %s %s]", c.Inject.Symbol, c.Inject.Inj)
+	}
+	return k
+}
+
+// WithFPIC returns a copy of c compiled with -fPIC (used by Symbol Bisect).
+func (c Compilation) WithFPIC() Compilation {
+	c.FPIC = true
+	return c
+}
+
+// WithInjection returns a copy of c carrying an injection plan.
+func (c Compilation) WithInjection(symbol string, inj fp.Injection) Compilation {
+	c.Inject = &InjectPlan{Symbol: symbol, Inj: inj}
+	return c
+}
+
+// optNum converts "-O3" to 3. Unknown levels behave like -O2.
+func optNum(level string) int {
+	switch level {
+	case "-O0":
+		return 0
+	case "-O1":
+		return 1
+	case "-O2":
+		return 2
+	case "-O3":
+		return 3
+	default:
+		return 2
+	}
+}
+
+// has reports whether the switch string contains the given flag token.
+func (c Compilation) has(flag string) bool {
+	if c.Switches == "" {
+		return false
+	}
+	for _, f := range strings.Split(c.Switches, " ") {
+		if f == flag {
+			return true
+		}
+	}
+	// Multi-token flags such as "-fp-model fast=2".
+	return strings.Contains(" "+c.Switches+" ", " "+flag+" ") ||
+		strings.HasSuffix(c.Switches, flag) && strings.Contains(flag, " ")
+}
+
+// hasSub reports whether the switch string contains flag as a substring
+// (for multi-word flags like "-fp-model fast=2").
+func (c Compilation) hasSub(flag string) bool {
+	return strings.Contains(c.Switches, flag)
+}
+
+// hash64 produces the deterministic per-decision hash that stands in for
+// the incidental heterogeneity of real code generation (which loops
+// vectorize, which calls inline, ...).
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// gate returns true for pct percent of (parts...) keys, deterministically.
+func gate(pct int, parts ...string) bool {
+	if pct <= 0 {
+		return false
+	}
+	if pct >= 100 {
+		return true
+	}
+	return hash64(parts...)%100 < uint64(pct)
+}

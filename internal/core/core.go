@@ -1,0 +1,110 @@
+// Package core implements the paper's multi-level analysis workflow
+// (Figure 1): Level 1 determines which compilations induce variability,
+// Level 2 analyzes the space of reproducibility versus performance and
+// answers "is the fastest reproducible compilation sufficient?", and
+// Level 3 root-causes variability to files and functions with the Bisect
+// algorithms.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bisect"
+	"repro/internal/comp"
+	"repro/internal/flit"
+)
+
+// Workflow binds a FLiT suite to a compilation matrix.
+type Workflow struct {
+	Suite  *flit.Suite
+	Matrix []comp.Compilation
+}
+
+// Analysis is the outcome of workflow levels 1 and 2.
+type Analysis struct {
+	Results *flit.Results
+}
+
+// Analyze runs every test under every compilation (Level 1) and wraps the
+// results for reproducibility/performance queries (Level 2).
+func (w *Workflow) Analyze() (*Analysis, error) {
+	res, err := w.Suite.RunMatrix(w.Matrix)
+	if err != nil {
+		return nil, fmt.Errorf("core: matrix run: %w", err)
+	}
+	return &Analysis{Results: res}, nil
+}
+
+// Recommendation answers the workflow's central question for one test:
+// what is the fastest compilation that reproduces the baseline, how does it
+// compare to the fastest overall, and is reproducibility free?
+type Recommendation struct {
+	Test string
+	// FastestEqual is the fastest bitwise-reproducible compilation.
+	FastestEqual flit.RunResult
+	// FastestEqualSpeedup is its speedup over the reference (g++ -O2).
+	FastestEqualSpeedup float64
+	// FastestAny is the fastest compilation regardless of reproducibility.
+	FastestAny        flit.RunResult
+	FastestAnySpeedup float64
+	// FastestIsReproducible reports whether no variability-inducing
+	// compilation beats the fastest reproducible one — true for 14 of the
+	// 19 MFEM examples in the paper.
+	FastestIsReproducible bool
+	// HasEqual is false when no tested compilation reproduced the baseline.
+	HasEqual bool
+}
+
+// Recommendations evaluates the Level 2 decision for every test.
+func (a *Analysis) Recommendations() []Recommendation {
+	var out []Recommendation
+	for _, test := range a.Results.TestNames() {
+		r := Recommendation{Test: test}
+		if eq, ok := a.Results.FastestEqual(test, ""); ok {
+			r.FastestEqual = eq
+			r.FastestEqualSpeedup = a.Results.Speedup(eq)
+			r.HasEqual = true
+		}
+		va, vok := a.Results.FastestVariable(test, "")
+		switch {
+		case !vok:
+			r.FastestAny = r.FastestEqual
+			r.FastestAnySpeedup = r.FastestEqualSpeedup
+			r.FastestIsReproducible = r.HasEqual
+		case !r.HasEqual || va.Time < r.FastestEqual.Time:
+			r.FastestAny = va
+			r.FastestAnySpeedup = a.Results.Speedup(va)
+			r.FastestIsReproducible = false
+		default:
+			r.FastestAny = r.FastestEqual
+			r.FastestAnySpeedup = r.FastestEqualSpeedup
+			r.FastestIsReproducible = true
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Bisect runs workflow Level 3: it root-causes the variability one test
+// exhibits under one compilation down to files and functions. k > 0 uses
+// BisectBiggest to find only the top-k contributors.
+func (w *Workflow) Bisect(test flit.TestCase, variable comp.Compilation, k int) (*bisect.Report, error) {
+	s := &bisect.Search{
+		Prog:     w.Suite.Prog,
+		Test:     test,
+		Baseline: w.Suite.Baseline,
+		Variable: variable,
+		K:        k,
+	}
+	return s.Run()
+}
+
+// TestByName returns the suite's test case with the given name, or nil.
+func (w *Workflow) TestByName(name string) flit.TestCase {
+	for _, t := range w.Suite.Tests {
+		if t.Name() == name {
+			return t
+		}
+	}
+	return nil
+}

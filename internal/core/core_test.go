@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps/mfem"
+	"repro/internal/comp"
+	"repro/internal/flit"
+)
+
+func workflow() *Workflow {
+	return &Workflow{
+		Suite: &flit.Suite{
+			Prog:      mfem.Program(),
+			Tests:     []flit.TestCase{mfem.NewCase(1), mfem.NewCase(5), mfem.NewCase(12), mfem.NewCase(13)},
+			Baseline:  comp.Baseline(),
+			Reference: comp.PerfReference(),
+		},
+		Matrix: comp.Matrix(),
+	}
+}
+
+func TestAnalyzeAndRecommend(t *testing.T) {
+	wf := workflow()
+	a, err := wf.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := a.Recommendations()
+	if len(recs) != 4 {
+		t.Fatalf("%d recommendations", len(recs))
+	}
+	byTest := map[string]Recommendation{}
+	for _, r := range recs {
+		byTest[r.Test] = r
+		if !r.HasEqual {
+			t.Fatalf("%s: no reproducible compilation at all", r.Test)
+		}
+		if r.FastestAnySpeedup < r.FastestEqualSpeedup {
+			t.Fatalf("%s: fastest-any slower than fastest-equal", r.Test)
+		}
+	}
+	// The invariant example's fastest is reproducible by definition.
+	if !byTest["Example12"].FastestIsReproducible {
+		t.Error("invariant example's fastest should be reproducible")
+	}
+	// Example 13 has variable compilations; the recommendation fields must
+	// be consistent either way.
+	r13 := byTest["Example13"]
+	if r13.FastestIsReproducible && r13.FastestAny.Comp != r13.FastestEqual.Comp {
+		t.Error("inconsistent reproducible-fastest recommendation")
+	}
+}
+
+func TestWorkflowBisect(t *testing.T) {
+	wf := workflow()
+	a, err := wf.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a variable gcc compilation for Example13 and root-cause it.
+	var variable comp.Compilation
+	found := false
+	for _, rr := range a.Results.ForTest("Example13") {
+		if rr.Variable() && rr.Comp.Compiler == comp.GCC {
+			variable, found = rr.Comp, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no variable gcc compilation for Example13 in this model")
+	}
+	report, err := wf.Bisect(wf.TestByName("Example13"), variable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Files) == 0 {
+		t.Fatal("bisect found nothing")
+	}
+	if report.Files[0].File != "densemat.cpp" {
+		t.Fatalf("blamed %s, want densemat.cpp", report.Files[0].File)
+	}
+}
+
+func TestTestByName(t *testing.T) {
+	wf := workflow()
+	if wf.TestByName("Example05") == nil {
+		t.Fatal("known test not found")
+	}
+	if wf.TestByName("nosuch") != nil {
+		t.Fatal("unknown test found")
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/laghos"
+	"repro/internal/bisect"
+	"repro/internal/comp"
+	"repro/internal/flit"
+	"repro/internal/link"
+)
+
+// Motivation reproduces the §1 motivating example: moving Laghos from
+// xlc++ -O2 to -O3 changed the ℓ2 energy norm by 11.2% and ran 2.42×
+// faster.
+type Motivation struct {
+	NormO2, NormO3 float64
+	RelDiff        float64
+	// Simulated runtimes from the deterministic cost model, scaled so the
+	// -O2 build matches the paper's 51.5 seconds.
+	SecondsO2, SecondsO3 float64
+	SpeedupFactor        float64
+}
+
+// RunMotivation executes the motivating example.
+func RunMotivation() (*Motivation, error) {
+	p := laghos.Program()
+	o2 := comp.Compilation{Compiler: comp.XLC, OptLevel: "-O2"}
+	o3 := comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"}
+	norm := func(c comp.Compilation) (float64, float64, error) {
+		ex, err := link.FullBuild(p, c)
+		if err != nil {
+			return 0, 0, err
+		}
+		m, err := ex.NewMachine()
+		if err != nil {
+			return 0, 0, err
+		}
+		st := laghos.Simulate(m, laghos.Options{}, 0.4)
+		return laghos.EnergyNorm(m, st.E), ex.Cost("main_laghos"), nil
+	}
+	n2, c2, err := norm(o2)
+	if err != nil {
+		return nil, err
+	}
+	n3, c3, err := norm(o3)
+	if err != nil {
+		return nil, err
+	}
+	scale := 51.5 / c2
+	mo := &Motivation{
+		NormO2: n2, NormO3: n3,
+		RelDiff:   abs(n3-n2) / n2,
+		SecondsO2: 51.5, SecondsO3: c3 * scale,
+		SpeedupFactor: c2 / c3,
+	}
+	return mo, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table4Row is one cell group of Table 4: one baseline compilation, one
+// digit restriction, and the three k values.
+type Table4Row struct {
+	Baseline comp.Compilation
+	Digits   int // 0 means full precision ("all")
+	// Per k in {1, 2, 0(=all)}: files found, functions found, runs used.
+	Files, Funcs, Runs [3]int
+}
+
+// Table4 reproduces the Laghos Bisect statistics: the compilation under
+// test is xlc++ -O3 against three trusted baselines, with digit-restricted
+// comparisons and BisectBiggest k values.
+func Table4() ([]Table4Row, error) {
+	variable := comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"}
+	baselines := []comp.Compilation{
+		{Compiler: comp.GCC, OptLevel: "-O2"},
+		{Compiler: comp.XLC, OptLevel: "-O2"},
+		{Compiler: comp.XLC, OptLevel: "-O3", Switches: "-qstrict=vectorprecision"},
+	}
+	var rows []Table4Row
+	for _, base := range baselines {
+		for _, digits := range []int{2, 3, 5, 0} {
+			row := Table4Row{Baseline: base, Digits: digits}
+			test := flit.WithCompare(laghos.NewCase(), flit.DigitL2Diff(digits))
+			for ki, k := range []int{1, 2, 0} {
+				s := &bisect.Search{
+					Prog:     laghos.Program(),
+					Test:     test,
+					Baseline: base,
+					Variable: variable,
+					K:        k,
+				}
+				report, err := s.Run()
+				if err != nil {
+					return nil, fmt.Errorf("laghos bisect (base %s, digits %d, k %d): %w",
+						base, digits, k, err)
+				}
+				row.Files[ki] = len(report.Files)
+				row.Funcs[ki] = len(report.AllSymbols())
+				row.Runs[ki] = report.Execs
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable4 prints Table 4 in the paper's layout.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-6s  %-14s %-14s %-14s\n",
+		"baseline", "digits", "# files(1/2/a)", "# funcs(1/2/a)", "# runs(1/2/a)")
+	for _, r := range rows {
+		d := "all"
+		if r.Digits > 0 {
+			d = fmt.Sprintf("%d", r.Digits)
+		}
+		fmt.Fprintf(&b, "%-34s %-6s  %4d %d %d %8d %d %d %8d %d %d\n",
+			r.Baseline, d,
+			r.Files[0], r.Files[1], r.Files[2],
+			r.Funcs[0], r.Funcs[1], r.Funcs[2],
+			r.Runs[0], r.Runs[1], r.Runs[2])
+	}
+	return b.String()
+}
+
+// table4TopFunction returns the single most-contributing function of the
+// xlc++ -O3 divergence under a 3-digit comparison — the paper's root cause.
+func table4TopFunction() (string, error) {
+	s := &bisect.Search{
+		Prog:     laghos.Program(),
+		Test:     flit.WithCompare(laghos.NewCase(), flit.DigitL2Diff(3)),
+		Baseline: comp.Compilation{Compiler: comp.XLC, OptLevel: "-O2"},
+		Variable: comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"},
+		K:        1,
+	}
+	report, err := s.Run()
+	if err != nil {
+		return "", err
+	}
+	syms := report.AllSymbols()
+	if len(syms) == 0 {
+		return "", fmt.Errorf("no function isolated")
+	}
+	return syms[0].Item, nil
+}
+
+// NaNBugResult is the outcome of re-discovering the public-branch XOR-swap
+// bug: the symbols found and the executions used (the paper: the two
+// visible symbols closest to the issue, in 45 executions).
+type NaNBugResult struct {
+	Symbols []string
+	Files   []string
+	Execs   int
+}
+
+// RunNaNBug reproduces the automated re-discovery of the xsw
+// undefined-behavior bug.
+func RunNaNBug() (*NaNBugResult, error) {
+	s := &bisect.Search{
+		Prog:     laghos.Program(),
+		Test:     &laghos.Case{Opt: laghos.Options{NaNBug: true}},
+		Baseline: comp.Compilation{Compiler: comp.GCC, OptLevel: "-O2"},
+		Variable: comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"},
+	}
+	report, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &NaNBugResult{Execs: report.Execs}
+	for _, ff := range report.Files {
+		out.Files = append(out.Files, ff.File)
+		for _, sf := range ff.Symbols {
+			out.Symbols = append(out.Symbols, sf.Item)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps/mfem"
+	"repro/internal/bisect"
+	"repro/internal/comp"
+	"repro/internal/flit"
+	"repro/internal/link"
+)
+
+// MPIRow is the outcome of the §3.6 study for one example.
+type MPIRow struct {
+	Example int
+	// Deterministic: repeated parallel executions are bitwise equal
+	// (verified with `Repeats` runs; the paper used 100).
+	Deterministic bool
+	// ParallelDiffers: the domain-decomposed run differs from the
+	// sequential run (the grid-density/accumulation-order effect).
+	ParallelDiffers bool
+	// SameBlame: Bisect under the parallel configuration isolated the same
+	// files and functions as the sequential search.
+	SameBlame bool
+	// Checked is false when no variable gcc compilation existed to bisect.
+	Checked bool
+}
+
+// MPIStudy reproduces §3.6 on the 2-D MFEM examples (the ones whose
+// assembly a domain decomposition reorders), under np simulated ranks.
+func MPIStudy(np, repeats int) ([]MPIRow, error) {
+	if repeats < 2 {
+		repeats = 2
+	}
+	res, err := MFEMResults()
+	if err != nil {
+		return nil, err
+	}
+	p := mfem.Program()
+	baseEx, err := link.FullBuild(p, comp.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	var rows []MPIRow
+	for _, exN := range []int{2, 4, 5, 7, 8, 14, 17} {
+		seqCase := mfem.NewCase(exN)
+		parCase := seqCase.WithProcs(np)
+		row := MPIRow{Example: exN}
+
+		seq, err := flit.RunAll(seqCase, baseEx)
+		if err != nil {
+			return nil, err
+		}
+		first, err := flit.RunAll(parCase, baseEx)
+		if err != nil {
+			return nil, err
+		}
+		row.Deterministic = true
+		for i := 1; i < repeats; i++ {
+			again, err := flit.RunAll(parCase, baseEx)
+			if err != nil {
+				return nil, err
+			}
+			if flit.L2Diff(first, again) != 0 {
+				row.Deterministic = false
+			}
+		}
+		row.ParallelDiffers = flit.L2Diff(seq, first) != 0
+
+		// Bisect equivalence: one variable gcc compilation per example.
+		var variable comp.Compilation
+		found := false
+		for _, rr := range res.ForTest(seqCase.Name()) {
+			if rr.Variable() && rr.Comp.Compiler == comp.GCC {
+				variable, found = rr.Comp, true
+				break
+			}
+		}
+		if found {
+			row.Checked = true
+			seqReport, err1 := (&bisect.Search{Prog: p, Test: seqCase,
+				Baseline: comp.Baseline(), Variable: variable}).Run()
+			parReport, err2 := (&bisect.Search{Prog: p, Test: parCase,
+				Baseline: comp.Baseline(), Variable: variable}).Run()
+			if err1 == nil && err2 == nil {
+				row.SameBlame = sameBlame(seqReport, parReport)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func sameBlame(a, b *bisect.Report) bool {
+	key := func(r *bisect.Report) string {
+		var parts []string
+		for _, ff := range r.Files {
+			var syms []string
+			for _, sf := range ff.Symbols {
+				syms = append(syms, sf.Item)
+			}
+			sort.Strings(syms)
+			parts = append(parts, ff.File+"{"+strings.Join(syms, ",")+"}")
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ";")
+	}
+	return key(a) == key(b)
+}
+
+// RenderMPI prints the study.
+func RenderMPI(rows []MPIRow) string {
+	out := fmt.Sprintf("%-10s %-14s %-18s %-10s\n",
+		"example", "deterministic", "parallel differs", "same blame")
+	for _, r := range rows {
+		blame := "n/a"
+		if r.Checked {
+			blame = fmt.Sprintf("%v", r.SameBlame)
+		}
+		out += fmt.Sprintf("%-10d %-14v %-18v %-10s\n",
+			r.Example, r.Deterministic, r.ParallelDiffers, blame)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package fp
+
+import "math"
+
+// Approximate math kernels modeling vector-math libraries (Intel SVML, IBM
+// MASS). Real vector libraries trade the last ulp or two for speed; these
+// kernels do the same thing deterministically, so that linking them in (the
+// paper's "Intel link step" effect) changes results by O(1 ulp) without any
+// randomness.
+
+// approxSqrt computes sqrt via a single-precision reciprocal-sqrt seed
+// refined with two Newton iterations in double precision — the classic
+// vectorized sqrt sequence. It is within ~2 ulps of correctly rounded and
+// differs from math.Sqrt on a large fraction of inputs.
+func approxSqrt(x float64) float64 {
+	if x == 0 || math.IsInf(x, 1) || math.IsNaN(x) || x < 0 {
+		return math.Sqrt(x)
+	}
+	// Single-precision seed for 1/sqrt(x).
+	y := float64(1 / math.Sqrt(float64(float32(x))))
+	// Newton iterations for r = 1/sqrt(x): r' = r*(1.5 - 0.5*x*r*r).
+	y = y * (1.5 - 0.5*x*y*y)
+	y = y * (1.5 - 0.5*x*y*y)
+	return x * y
+}
+
+// approxExp evaluates exp with a faithfully-rounded (not correctly-rounded)
+// final step: the correctly rounded result is nudged by one ulp on a
+// deterministic subset of inputs, modeling a 1-ulp vector library.
+func approxExp(x float64) float64 {
+	r := math.Exp(x)
+	return nudge(r, x)
+}
+
+// approxLog is the logarithm counterpart of approxExp.
+func approxLog(x float64) float64 {
+	r := math.Log(x)
+	return nudge(r, x)
+}
+
+// nudge moves r one ulp toward +inf or -inf on roughly half of all inputs,
+// selected by the low mantissa bits of the argument. This is a deterministic
+// stand-in for "faithful rounding": the result is always one of the two
+// doubles bracketing the exact value.
+func nudge(r, arg float64) float64 {
+	if math.IsNaN(r) || math.IsInf(r, 0) || r == 0 {
+		return r
+	}
+	bits := math.Float64bits(arg)
+	switch bits & 3 {
+	case 1:
+		return math.Nextafter(r, math.Inf(1))
+	case 3:
+		return math.Nextafter(r, math.Inf(-1))
+	default:
+		return r
+	}
+}

@@ -1,0 +1,53 @@
+package fp
+
+import "math"
+
+// Double-double ("dd") arithmetic: error-free transformations that represent
+// a value as an unevaluated sum hi+lo of two float64 with |lo| <= ulp(hi)/2.
+// Used to model extended-precision intermediates (x87 80-bit temporaries and
+// wider): compound operations accumulate in dd and round once at the end.
+
+// dd is an unevaluated sum hi + lo.
+type dd struct {
+	hi, lo float64
+}
+
+// twoSum returns the exact sum of a and b as a dd (Knuth's TwoSum, 6 flops,
+// valid for all inputs).
+func twoSum(a, b float64) dd {
+	s := a + b
+	bb := s - a
+	err := (a - (s - bb)) + (b - bb)
+	return dd{s, err}
+}
+
+// twoProd returns the exact product of a and b as a dd, using FMA to recover
+// the rounding error of the multiply.
+func twoProd(a, b float64) dd {
+	p := a * b
+	e := math.FMA(a, b, -p)
+	return dd{p, e}
+}
+
+// addDD adds a double to a dd value.
+func addDD(x dd, b float64) dd {
+	s := twoSum(x.hi, b)
+	s.lo += x.lo
+	return fastRenorm(s)
+}
+
+// addDDDD adds two dd values.
+func addDDDD(x, y dd) dd {
+	s := twoSum(x.hi, y.hi)
+	s.lo += x.lo + y.lo
+	return fastRenorm(s)
+}
+
+// fastRenorm re-establishes the |lo| <= ulp(hi)/2 invariant.
+func fastRenorm(x dd) dd {
+	s := x.hi + x.lo
+	return dd{s, x.lo - (s - x.hi)}
+}
+
+// round collapses a dd to the nearest float64.
+func (x dd) round() float64 { return x.hi + x.lo }

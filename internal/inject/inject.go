@@ -1,0 +1,258 @@
+// Package inject implements the paper's controlled variability-injection
+// framework (§3.5): the LLVM-pass methodology reproduced on the simulated
+// toolchain. The first pass enumerates every potential injection location —
+// a (function, static floating-point instruction) pair; the second plants
+// x OP' ε at one location, with OP' drawn from {+,-,*,/} and ε from a
+// uniform (0,1) distribution (deterministically, per site). FLiT Bisect is
+// then asked to find the injected function, and the report is scored as an
+// exact find, an indirect find (the closest exported caller of an inlined
+// or internal function), a wrong find, a missed find, or not measurable.
+package inject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/bisect"
+	"repro/internal/comp"
+	"repro/internal/flit"
+	"repro/internal/fp"
+	"repro/internal/link"
+	"repro/internal/prog"
+)
+
+// Site is one potential injection location.
+type Site struct {
+	Symbol  string
+	OpIndex int
+}
+
+// EnumerateSites is the first pass: every static FP instruction of every
+// function, in deterministic order.
+func EnumerateSites(p *prog.Program) []Site {
+	var out []Site
+	for _, s := range p.Symbols() {
+		for i := 0; i < s.FPOps; i++ {
+			out = append(out, Site{Symbol: s.Name, OpIndex: i})
+		}
+	}
+	return out
+}
+
+// EpsFor returns the deterministic uniform-(0,1) perturbation magnitude for
+// a site and operation.
+func EpsFor(site Site, op fp.InjectOp) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%c", site.Symbol, site.OpIndex, byte(op))
+	// 53 mantissa bits of the hash mapped into (0,1); never exactly 0.
+	v := float64(h.Sum64()>>11) / float64(1<<53)
+	if v == 0 {
+		v = 0.5
+	}
+	return v
+}
+
+// Outcome classifies one injection run (the categories of Table 5).
+type Outcome int
+
+const (
+	// Exact: Bisect reported the injected function itself.
+	Exact Outcome = iota
+	// Indirect: the injected function is not an overridable symbol, and
+	// Bisect reported the closest exported function that calls it.
+	Indirect
+	// Wrong: a reported function does not explain the injection
+	// (a false positive).
+	Wrong
+	// Missed: the injection changed the output but Bisect reported nothing
+	// responsible (a false negative).
+	Missed
+	// NotMeasurable: the injection did not change the program output
+	// (unreached code or a perturbation absorbed by rounding/branches).
+	NotMeasurable
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Exact:
+		return "exact"
+	case Indirect:
+		return "indirect"
+	case Wrong:
+		return "wrong"
+	case Missed:
+		return "missed"
+	case NotMeasurable:
+		return "not measurable"
+	default:
+		return "unknown"
+	}
+}
+
+// RunReport is the scored result of one injection.
+type RunReport struct {
+	Site    Site
+	Op      fp.InjectOp
+	Eps     float64
+	Outcome Outcome
+	// Execs counts program executions: 1 for detection plus the Bisect
+	// search for measurable injections.
+	Execs int
+	// Found lists the symbols Bisect blamed.
+	Found []string
+	Err   error
+}
+
+// Study drives injections against one program and test.
+type Study struct {
+	Prog     *prog.Program
+	Test     flit.TestCase
+	Baseline comp.Compilation
+}
+
+// RunOne injects at a single site with a single OP' and scores the result.
+func (s *Study) RunOne(site Site, op fp.InjectOp) RunReport {
+	rep := RunReport{Site: site, Op: op, Eps: EpsFor(site, op)}
+	injected := s.Baseline.WithInjection(site.Symbol,
+		fp.Injection{OpIndex: site.OpIndex, Op: op, Eps: rep.Eps})
+
+	baseEx, err := link.FullBuild(s.Prog, s.Baseline)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	baseRes, err := flit.RunAll(s.Test, baseEx)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	injEx, err := link.FullBuild(s.Prog, injected)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	injRes, err := flit.RunAll(s.Test, injEx)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Execs = 1 // the detection run
+	if s.Test.Compare(baseRes, injRes) == 0 {
+		rep.Outcome = NotMeasurable
+		return rep
+	}
+
+	search := &bisect.Search{Prog: s.Prog, Test: s.Test,
+		Baseline: s.Baseline, Variable: injected}
+	report, err := search.Run()
+	if report != nil {
+		rep.Execs += report.Execs
+	}
+	if err != nil {
+		rep.Err = err
+		rep.Outcome = Missed
+		return rep
+	}
+	for _, f := range report.AllSymbols() {
+		rep.Found = append(rep.Found, f.Item)
+	}
+	rep.Outcome = s.score(site.Symbol, rep.Found, report)
+	return rep
+}
+
+// score classifies the blame set against the known injection target.
+func (s *Study) score(target string, found []string, report *bisect.Report) Outcome {
+	ancestor := s.Prog.ExportedAncestor(target)
+	explains := func(name string) bool {
+		return name == target || (ancestor != "" && name == ancestor)
+	}
+	if len(found) == 0 {
+		// No symbol-level blame. A file-level finding naming the target's
+		// file still counts as an indirect localization only if symbol
+		// search could not go deeper; otherwise the injection was missed.
+		targetFile := s.Prog.MustSymbol(target).File
+		for _, ff := range report.Files {
+			if ff.File == targetFile && ff.Status != bisect.SymbolsFound {
+				return Indirect
+			}
+		}
+		return Missed
+	}
+	sawExact, sawIndirect := false, false
+	for _, f := range found {
+		if !explains(f) {
+			return Wrong
+		}
+		if f == target {
+			sawExact = true
+		} else {
+			sawIndirect = true
+		}
+	}
+	if sawExact {
+		return Exact
+	}
+	if sawIndirect {
+		return Indirect
+	}
+	return Missed
+}
+
+// Summary aggregates a batch of injection runs (Table 5).
+type Summary struct {
+	Counts    map[Outcome]int
+	Total     int
+	TotalRuns int // total program executions over measurable injections
+	Bisected  int // injections that went through a Bisect search
+}
+
+// AvgExecs is the average number of program executions per Bisect search.
+func (s Summary) AvgExecs() float64 {
+	if s.Bisected == 0 {
+		return 0
+	}
+	return float64(s.TotalRuns) / float64(s.Bisected)
+}
+
+// Precision is TP/(TP+FP) with exact+indirect as true positives and wrong
+// finds as false positives.
+func (s Summary) Precision() float64 {
+	tp := s.Counts[Exact] + s.Counts[Indirect]
+	fp := s.Counts[Wrong]
+	if tp+fp == 0 {
+		return math.NaN()
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Recall is TP/(TP+FN) with missed finds as false negatives.
+func (s Summary) Recall() float64 {
+	tp := s.Counts[Exact] + s.Counts[Indirect]
+	fn := s.Counts[Missed]
+	if tp+fn == 0 {
+		return math.NaN()
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// Run executes the full study: every site × every OP'. The sites slice may
+// be a subset for sampled runs; nil means all sites of the program.
+func (s *Study) Run(sites []Site) Summary {
+	if sites == nil {
+		sites = EnumerateSites(s.Prog)
+	}
+	sum := Summary{Counts: make(map[Outcome]int)}
+	for _, site := range sites {
+		for _, op := range fp.AllInjectOps {
+			rep := s.RunOne(site, op)
+			sum.Counts[rep.Outcome]++
+			sum.Total++
+			if rep.Outcome != NotMeasurable {
+				sum.TotalRuns += rep.Execs
+				sum.Bisected++
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,157 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/lulesh"
+	"repro/internal/comp"
+	"repro/internal/fp"
+)
+
+func study() *Study {
+	return &Study{
+		Prog:     lulesh.Program(),
+		Test:     lulesh.NewCase(),
+		Baseline: comp.Compilation{Compiler: comp.Clang, OptLevel: "-O2"},
+	}
+}
+
+func TestEnumerateSitesMatchesPaper(t *testing.T) {
+	sites := EnumerateSites(lulesh.Program())
+	if len(sites) != lulesh.TotalInjectionSites {
+		t.Fatalf("enumerated %d sites, want %d", len(sites), lulesh.TotalInjectionSites)
+	}
+	// 4 OP' per site gives the paper's 4,376 runs.
+	if len(sites)*len(fp.AllInjectOps) != 4376 {
+		t.Fatalf("total runs = %d, want 4376", len(sites)*4)
+	}
+	seen := map[Site]bool{}
+	for _, s := range sites {
+		if seen[s] {
+			t.Fatalf("duplicate site %+v", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEpsForDeterministicUniform(t *testing.T) {
+	s := Site{Symbol: "CalcEnergyForElems", OpIndex: 7}
+	a := EpsFor(s, fp.InjAdd)
+	if a != EpsFor(s, fp.InjAdd) {
+		t.Fatal("EpsFor not deterministic")
+	}
+	if a <= 0 || a >= 1 {
+		t.Fatalf("eps %g outside (0,1)", a)
+	}
+	if EpsFor(s, fp.InjMul) == a {
+		t.Fatal("eps should differ per op")
+	}
+	// Roughly uniform: mean of many sites near 0.5.
+	var sum float64
+	sites := EnumerateSites(lulesh.Program())
+	for _, site := range sites {
+		sum += EpsFor(site, fp.InjAdd)
+	}
+	mean := sum / float64(len(sites))
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("eps mean %g far from 0.5", mean)
+	}
+}
+
+func TestExactFindOnExportedFunction(t *testing.T) {
+	s := study()
+	rep := s.RunOne(Site{Symbol: "CalcAccelerationForNodes", OpIndex: 2}, fp.InjMul)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Outcome != Exact {
+		t.Fatalf("outcome = %s (found %v)", rep.Outcome, rep.Found)
+	}
+	if rep.Execs < 2 {
+		t.Fatalf("execs = %d", rep.Execs)
+	}
+}
+
+func TestIndirectFindOnInternalFunction(t *testing.T) {
+	s := study()
+	// CalcEnergyForElems is internal; its exported ancestor is
+	// ApplyMaterialPropertiesForElems.
+	rep := s.RunOne(Site{Symbol: "CalcEnergyForElems", OpIndex: 1}, fp.InjAdd)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Outcome != Indirect && rep.Outcome != NotMeasurable {
+		t.Fatalf("outcome = %s (found %v)", rep.Outcome, rep.Found)
+	}
+	if rep.Outcome == Indirect {
+		want := lulesh.Program().ExportedAncestor("CalcEnergyForElems")
+		ok := false
+		for _, f := range rep.Found {
+			if f == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("indirect find %v does not include ancestor %s", rep.Found, want)
+		}
+	}
+}
+
+func TestUnreachedSiteNotMeasurable(t *testing.T) {
+	s := study()
+	rep := s.RunOne(Site{Symbol: "CalcElemNodeNormals", OpIndex: 0}, fp.InjDiv)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if rep.Outcome != NotMeasurable {
+		t.Fatalf("unreached injection scored %s", rep.Outcome)
+	}
+	if rep.Execs != 1 {
+		t.Fatalf("not-measurable should cost 1 detection run, got %d", rep.Execs)
+	}
+}
+
+func TestSampledStudyPerfectPrecisionRecall(t *testing.T) {
+	// A deterministic sample across functions; the full 4,376-run sweep is
+	// the Table 5 benchmark.
+	s := study()
+	all := EnumerateSites(s.Prog)
+	var sample []Site
+	for i := 0; i < len(all); i += 23 {
+		sample = append(sample, all[i])
+	}
+	sum := s.Run(sample)
+	if sum.Total != len(sample)*4 {
+		t.Fatalf("total = %d", sum.Total)
+	}
+	if sum.Counts[Wrong] != 0 {
+		t.Fatalf("%d wrong finds (want 0, the paper's precision=100%%)", sum.Counts[Wrong])
+	}
+	if sum.Counts[Missed] != 0 {
+		t.Fatalf("%d missed finds (want 0, the paper's recall=100%%)", sum.Counts[Missed])
+	}
+	if p := sum.Precision(); p != 1 {
+		t.Fatalf("precision = %g", p)
+	}
+	if r := sum.Recall(); r != 1 {
+		t.Fatalf("recall = %g", r)
+	}
+	if sum.Counts[Exact] == 0 {
+		t.Fatal("no exact finds in sample")
+	}
+	if sum.Counts[Indirect] == 0 {
+		t.Fatal("no indirect finds in sample")
+	}
+	if avg := sum.AvgExecs(); avg <= 3 || avg > 60 {
+		t.Fatalf("average executions %g implausible (paper: ~15)", avg)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{Exact, Indirect, Wrong, Missed, NotMeasurable, Outcome(9)} {
+		if o.String() == "" {
+			t.Fatal("empty outcome string")
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package link simulates the build-and-link step that FLiT Bisect drives:
+// compiling each translation unit under some compilation, mixing object
+// files from the baseline and the variable compilation (File Bisect), and
+// overriding individual exported symbols via the strong/weak-symbol trick
+// (Symbol Bisect, paper §2.3 and Figure 3).
+//
+// Linking yields an Executable. Running application code against an
+// Executable resolves, per function invocation, which compilation's
+// "generated code" executes, and hands the application an fp.Env with that
+// compilation's floating-point semantics. Internal (non-exported) symbols
+// cannot be overridden individually: like real translation units, they
+// travel with whichever copy of their file the caller came from — which is
+// exactly what makes the paper's "indirect finds" and -fPIC limitations
+// appear.
+package link
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/prog"
+)
+
+// ErrSegfault is reported when a mixed executable crashes at run time due
+// to binary incompatibility between the compilers involved (paper §3.3).
+var ErrSegfault = errors.New("link: mixed executable crashed (segmentation fault)")
+
+// ErrDuplicateStrong is reported when two strong definitions of the same
+// symbol reach the linker.
+var ErrDuplicateStrong = errors.New("link: duplicate strong symbol")
+
+// Plan describes one executable to build.
+type Plan struct {
+	// Prog is the application being built.
+	Prog *prog.Program
+	// Baseline is the compilation used for every file not listed in
+	// FileComp (the trusted compilation in a bisect search).
+	Baseline comp.Compilation
+	// FileComp assigns whole files to a different compilation
+	// (File Bisect granularity). Keys are file names.
+	FileComp map[string]comp.Compilation
+	// SymbolComp overrides individual exported symbols (Symbol Bisect
+	// granularity). Keys are symbol names. Both copies of the symbol's
+	// file are linked; the named symbols take the given compilation and
+	// the file's remaining exported symbols keep the baseline, all
+	// recompiled with -fPIC as the paper requires.
+	SymbolComp map[string]comp.Compilation
+	// Driver is the compiler that performs the final link. Empty means
+	// the Baseline's compiler. The Intel driver substitutes SVML for libm
+	// regardless of compile-time flags.
+	Driver string
+}
+
+// Executable is a linked program image.
+type Executable struct {
+	prog     *prog.Program
+	baseline comp.Compilation
+	fileComp map[string]comp.Compilation
+	symComp  map[string]comp.Compilation
+	driver   string
+	crash    bool
+}
+
+// Link builds an executable from a plan. An error is returned for malformed
+// plans (unknown files or symbols, overriding a non-exported symbol);
+// ABI-incompatibility does not fail the link — like a real toolchain the
+// problem only appears when the binary runs.
+func Link(p Plan) (*Executable, error) {
+	if p.Prog == nil {
+		return nil, errors.New("link: plan has no program")
+	}
+	for f := range p.FileComp {
+		if p.Prog.File(f) == nil {
+			return nil, fmt.Errorf("link: plan names unknown file %q", f)
+		}
+	}
+	for s := range p.SymbolComp {
+		sym := p.Prog.Symbol(s)
+		if sym == nil {
+			return nil, fmt.Errorf("link: plan names unknown symbol %q", s)
+		}
+		if !sym.Exported {
+			// A non-exported symbol has no global entry; both strong
+			// copies would collide or the override would silently bind to
+			// the wrong copy. FLiT never attempts it.
+			return nil, fmt.Errorf("link: symbol %q is not exported; %w", s, ErrDuplicateStrong)
+		}
+	}
+	driver := p.Driver
+	if driver == "" {
+		driver = p.Baseline.Compiler
+	}
+	ex := &Executable{
+		prog:     p.Prog,
+		baseline: p.Baseline,
+		fileComp: p.FileComp,
+		symComp:  p.SymbolComp,
+		driver:   driver,
+	}
+	ex.crash = ex.abiHazard()
+	return ex, nil
+}
+
+// abiHazard evaluates the deterministic binary-compatibility rules.
+func (e *Executable) abiHazard() bool {
+	for f, c := range e.fileComp {
+		if c.Compiler != e.baseline.Compiler && comp.FileMixHazard(c, e.baseline, f) {
+			return true
+		}
+	}
+	seenFile := map[string]bool{}
+	for s, c := range e.symComp {
+		f := e.prog.Symbol(s).File
+		if seenFile[f] {
+			continue
+		}
+		seenFile[f] = true
+		if comp.SymbolMixHazard(c, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Crashes reports whether running this executable segfaults.
+func (e *Executable) Crashes() bool { return e.crash }
+
+// Driver returns the linking compiler.
+func (e *Executable) Driver() string { return e.driver }
+
+// Program returns the application this executable was built from.
+func (e *Executable) Program() *prog.Program { return e.prog }
+
+// fileCompilation returns the compilation assigned to a whole file.
+func (e *Executable) fileCompilation(file string) comp.Compilation {
+	if c, ok := e.fileComp[file]; ok {
+		return c
+	}
+	return e.baseline
+}
+
+// exportedCompilation resolves the compilation providing an exported
+// symbol's strong definition.
+func (e *Executable) exportedCompilation(sym *prog.Symbol) comp.Compilation {
+	if c, ok := e.symComp[sym.Name]; ok {
+		return c
+	}
+	if e.fileHasSymbolOverrides(sym.File) {
+		// The file is linked as two -fPIC copies; non-overridden exported
+		// symbols bind to the baseline copy.
+		return e.baseline.WithFPIC()
+	}
+	return e.fileCompilation(sym.File)
+}
+
+func (e *Executable) fileHasSymbolOverrides(file string) bool {
+	for s := range e.symComp {
+		if e.prog.Symbol(s).File == file {
+			return true
+		}
+	}
+	return false
+}
+
+// Cost returns the deterministic runtime cost of executing the program from
+// the given roots under this executable's symbol resolution. Internal
+// symbols are charged at their file's compilation.
+func (e *Executable) Cost(roots ...string) float64 {
+	var total float64
+	for _, sym := range sortedSymbols(e.prog.Reachable(roots...)) {
+		var c comp.Compilation
+		if sym.Exported {
+			c = e.exportedCompilation(sym)
+		} else {
+			c = e.fileCompilation(sym.File)
+		}
+		total += sym.Work * comp.SpeedFactor(c, sym)
+	}
+	return total
+}
+
+// sortedSymbols gives deterministic iteration over a reachability set.
+func sortedSymbols(set map[string]*prog.Symbol) []*prog.Symbol {
+	out := make([]*prog.Symbol, 0, len(set))
+	for _, s := range set {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Name > out[j].Name; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

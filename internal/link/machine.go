@@ -1,0 +1,114 @@
+package link
+
+import (
+	"repro/internal/comp"
+	"repro/internal/fp"
+	"repro/internal/prog"
+)
+
+// Machine executes application code against one linked executable. It
+// tracks the simulated call stack so that internal (non-exported) symbols
+// resolve to the copy of their translation unit their caller came from —
+// the behavior of real static functions when Symbol Bisect links two copies
+// of an object file.
+//
+// Application functions bracket their bodies with:
+//
+//	env, done := m.Fn("SymbolName")
+//	defer done()
+//
+// and perform all floating-point arithmetic through env. A Machine is not
+// safe for concurrent use; create one Machine per goroutine.
+type Machine struct {
+	ex    *Executable
+	stack []frame
+	// envs caches one fp.Env per (symbol, providing compilation) for the
+	// lifetime of the run, so a function's dynamic instruction counter
+	// accumulates across invocations — an injection at static instruction
+	// k of a function called many times fires on every pass through its
+	// body, exactly like a real static-instruction perturbation.
+	envs map[string]*fp.Env
+}
+
+type frame struct {
+	sym *prog.Symbol
+	c   comp.Compilation
+}
+
+// NewMachine returns a machine for one run of the executable. It returns
+// ErrSegfault if the mixed binary is ABI-incompatible and cannot run.
+func (e *Executable) NewMachine() (*Machine, error) {
+	if e.crash {
+		return nil, ErrSegfault
+	}
+	return &Machine{ex: e, envs: make(map[string]*fp.Env)}, nil
+}
+
+// Fn enters the named function: it resolves which compilation provides this
+// invocation, builds the fp.Env for that compilation's semantics (including
+// link-driver effects and any injection plan), and returns it together with
+// a function that must be deferred to leave the frame.
+func (m *Machine) Fn(symbol string) (*fp.Env, func()) {
+	sym := m.ex.prog.MustSymbol(symbol)
+	c := m.resolve(sym)
+	m.stack = append(m.stack, frame{sym: sym, c: c})
+	env := m.buildEnv(sym, c)
+	return env, m.pop
+}
+
+func (m *Machine) pop() {
+	m.stack = m.stack[:len(m.stack)-1]
+}
+
+// resolve decides which compilation's code runs for this invocation.
+func (m *Machine) resolve(sym *prog.Symbol) comp.Compilation {
+	if sym.Exported {
+		return m.ex.exportedCompilation(sym)
+	}
+	// Internal symbol: bound to the copy of its file that the nearest
+	// same-file caller on the stack came from. With no same-file caller
+	// (e.g. a test harness calling an internal function directly) it
+	// binds to the file-level compilation.
+	for i := len(m.stack) - 1; i >= 0; i-- {
+		if m.stack[i].sym.File == sym.File {
+			return m.stack[i].c
+		}
+	}
+	return m.ex.fileCompilation(sym.File)
+}
+
+// buildEnv returns the run-scoped fp.Env for one symbol under one
+// compilation, creating it on first entry.
+func (m *Machine) buildEnv(sym *prog.Symbol, c comp.Compilation) *fp.Env {
+	key := sym.Name + "\x00" + c.Key()
+	if env, ok := m.envs[key]; ok {
+		return env
+	}
+	sem := comp.ApplyLinkStep(m.ex.driver, sym, comp.Semantics(c, sym))
+	var env *fp.Env
+	if c.Inject != nil && c.Inject.Symbol == sym.Name {
+		env = fp.NewInjectedEnv(sem, sym.FPOps, c.Inject.Inj)
+	} else {
+		env = fp.NewEnv(sem)
+	}
+	m.envs[key] = env
+	return env
+}
+
+// Comp returns the compilation providing the current (innermost) frame.
+// Application code uses it to model compilation-dependent behavior that is
+// not floating-point semantics, such as undefined-behavior miscompilation
+// (the Laghos xsw macro). Calling Comp outside any frame returns the
+// baseline compilation.
+func (m *Machine) Comp() comp.Compilation {
+	if len(m.stack) == 0 {
+		return m.ex.baseline
+	}
+	return m.stack[len(m.stack)-1].c
+}
+
+// Depth returns the current simulated call-stack depth (for tests).
+func (m *Machine) Depth() int { return len(m.stack) }
+
+// Executable returns the executable this machine runs.
+func (m *Machine) Executable() *Executable { return m.ex }

@@ -1,0 +1,50 @@
+package link
+
+import (
+	"repro/internal/comp"
+	"repro/internal/prog"
+)
+
+// FullBuild links every file of the program under a single compilation —
+// what the FLiT matrix runner does for each cell of the compilation matrix.
+// The compilation's own compiler drives the link.
+func FullBuild(p *prog.Program, c comp.Compilation) (*Executable, error) {
+	fileComp := make(map[string]comp.Compilation, len(p.Files()))
+	for _, f := range p.Files() {
+		fileComp[f.Name] = c
+	}
+	return Link(Plan{Prog: p, Baseline: c, FileComp: fileComp, Driver: c.Compiler})
+}
+
+// FileMixBuild links the named files compiled under the variable
+// compilation and everything else under the baseline — the Test executable
+// of File Bisect (Figure 3, left). The baseline compiler drives the link,
+// matching FLiT's use of a common GCC-compatible runtime.
+func FileMixBuild(p *prog.Program, baseline, variable comp.Compilation, files []string) (*Executable, error) {
+	fileComp := make(map[string]comp.Compilation, len(files))
+	for _, f := range files {
+		fileComp[f] = variable
+	}
+	return Link(Plan{Prog: p, Baseline: baseline, FileComp: fileComp})
+}
+
+// SymbolMixBuild links two -fPIC copies of one file — the named exported
+// symbols strong from the variable compilation, the rest strong from the
+// baseline — plus baseline objects for all other files: the Test executable
+// of Symbol Bisect (Figure 3, right).
+func SymbolMixBuild(p *prog.Program, baseline, variable comp.Compilation, symbols []string) (*Executable, error) {
+	symComp := make(map[string]comp.Compilation, len(symbols))
+	for _, s := range symbols {
+		symComp[s] = variable.WithFPIC()
+	}
+	return Link(Plan{Prog: p, Baseline: baseline, SymbolComp: symComp})
+}
+
+// FPICProbeBuild rebuilds one whole file under the variable compilation
+// with -fPIC added and the rest under the baseline. Symbol Bisect runs this
+// probe first: if the variability disappears, -fPIC defeated the
+// optimization that caused it and the search cannot go below file
+// granularity (paper §2.3).
+func FPICProbeBuild(p *prog.Program, baseline, variable comp.Compilation, file string) (*Executable, error) {
+	return FileMixBuild(p, baseline, variable.WithFPIC(), []string{file})
+}
