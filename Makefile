@@ -1,0 +1,31 @@
+# Tier-1+ gate for the reproduction (see ROADMAP.md). `make ci` is what the
+# repository considers green; scripts/ci.sh is the same gate as a script.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine is concurrent; everything must be race-clean at every -j.
+race:
+	$(GO) test -race ./...
+
+# One iteration of the cheap benchmarks: keeps the harness compiling and
+# running without paying for the full study regeneration.
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkTable3CodeStats|BenchmarkMotivation' -benchtime 1x .
+
+# The full benchmark suite regenerates every table and figure of the paper
+# and times the parallel engine (BenchmarkParallelEngineSweep).
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .

@@ -11,6 +11,7 @@ package repro
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/comp"
 	"repro/internal/experiments"
@@ -192,6 +193,56 @@ func BenchmarkTable5Injection(b *testing.B) {
 		if sum.Counts[inject.Wrong] != 0 || sum.Counts[inject.Missed] != 0 {
 			b.Fatalf("precision/recall violated: %v", sum.Counts)
 		}
+	}
+}
+
+// BenchmarkParallelEngineSweep times the experiments sweep (matrix +
+// Table 2 characterization + Laghos case study + sampled injection
+// campaign) under three engine configurations and reports the speedups the
+// execution engine buys:
+//
+//   - j1-uncached: the seed's behavior — sequential, every build/run pair
+//     re-executed;
+//   - j1-cached: sequential with the memoizing build/run cache;
+//   - j4-cached: four-way fan-out plus the cache.
+//
+// "cache-speedup-x" (j1-cached vs j1-uncached) is hardware-independent.
+// "j4-vs-j1-speedup-x" measures the worker-pool fan-out and scales with
+// available CPUs — on a single-CPU host it is ~1.0 by physics; the pool
+// still bounds concurrency correctly and the outputs stay bit-identical
+// (the sweep digests are compared every iteration).
+func BenchmarkParallelEngineSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		uncached, err := experiments.NewEngineNoCache(1).SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncachedSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		seq, err := experiments.Sweep(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		par, err := experiments.Sweep(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parSec := time.Since(t0).Seconds()
+
+		if seq != par || seq != uncached {
+			b.Fatal("sweep digests differ across engine configurations")
+		}
+		b.ReportMetric(uncachedSec, "j1-uncached-sec")
+		b.ReportMetric(seqSec, "j1-cached-sec")
+		b.ReportMetric(parSec, "j4-cached-sec")
+		b.ReportMetric(uncachedSec/seqSec, "cache-speedup-x")
+		b.ReportMetric(seqSec/parSec, "j4-vs-j1-speedup-x")
+		b.ReportMetric(uncachedSec/parSec, "engine-vs-seed-speedup-x")
 	}
 }
 

@@ -5,15 +5,28 @@
 //
 // Usage:
 //
-//	flit run [-test ExampleNN]              run the 244-compilation matrix
-//	flit bisect -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
-//	flit experiments <table1|figure4|figure5|figure6|table2|table3|
-//	                  findings|motivation|table4|laghos-nan|table5|mpi|all>
+//	flit run [-j N] [-test ExampleNN]        run the 244-compilation matrix
+//	flit bisect [-j N] -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
+//	flit experiments [-j N] <table1|figure4|figure5|figure6|table2|table3|
+//	                  findings|motivation|table4|laghos-nan|table5|mpi|
+//	                  sweep|all>
+//
+// "sweep" renders the sampled end-to-end digest of every subsystem on a
+// fresh engine — the determinism witness the equivalence tests compare
+// across -j values. It is not part of "all" (which already regenerates
+// each full artifact individually).
+//
+// Every subcommand accepts -j N: the number of (compilation, test)
+// evaluations executed concurrently by the parallel engine (0, the
+// default, means one per CPU; 1 reproduces the paper's sequential order).
+// Results are bit-identical at every -j.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,46 +35,98 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// errParsed marks flag-parse failures the flag package has already
+// reported on stderr, so run does not print them a second time.
+var errParsed = errors.New("flag parse error")
+
+// errHelp marks an explicit -h/-help request: usage was printed and the
+// invocation succeeded.
+var errHelp = errors.New("help requested")
+
+// run dispatches a CLI invocation and returns its exit code: 0 on success,
+// 1 on a runtime error, 2 on a usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(args[1:], stdout, stderr)
 	case "bisect":
-		err = cmdBisect(os.Args[2:])
+		err = cmdBisect(args[1:], stdout, stderr)
 	case "experiments":
-		err = cmdExperiments(os.Args[2:])
+		err = cmdExperiments(args[1:], stdout, stderr)
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "flit:", err)
-		os.Exit(1)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errHelp):
+		return 0
+	case errors.Is(err, errParsed):
+		return 2
+	default:
+		fmt.Fprintln(stderr, "flit:", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  flit run [-test ExampleNN]
-  flit bisect -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
-  flit experiments <name|all>`)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  flit run [-j N] [-test ExampleNN]
+  flit bisect [-j N] -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
+  flit experiments [-j N] <name|all>
+
+experiment names: table1 figure4 figure5 figure6 table2 table3 findings
+  motivation table4 laghos-nan table5 mpi, or "sweep" for the sampled
+  end-to-end digest of every subsystem
+
+-j N runs up to N evaluations in parallel (0 = one per CPU, 1 = the
+paper's sequential order); output is bit-identical at every -j.`)
 }
 
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// newFlagSet builds a subcommand flag set that reports parse errors back
+// to the caller instead of exiting the process, with the shared -j knob.
+func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *int) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	j := fs.Int("j", 0, "parallel evaluations (0 = one per CPU, 1 = sequential)")
+	return fs, j
+}
+
+// parseFlags parses and maps failures to errParsed (the FlagSet has
+// already written the diagnostic to stderr) and -h to errHelp (usage was
+// printed; the invocation succeeded).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return errHelp
+	default:
+		return fmt.Errorf("%w: %v", errParsed, err)
+	}
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs, j := newFlagSet("run", stderr)
 	test := fs.String("test", "", "restrict output to one test (e.g. Example05)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	experiments.SetParallelism(*j)
 	res, err := experiments.MFEMResults()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %-46s %-10s %-12s %s\n", "test", "compilation", "speedup", "compare", "class")
+	fmt.Fprintf(stdout, "%-12s %-46s %-10s %-12s %s\n", "test", "compilation", "speedup", "compare", "class")
 	for _, name := range res.TestNames() {
 		if *test != "" && name != *test {
 			continue
@@ -71,7 +136,7 @@ func cmdRun(args []string) error {
 			if rr.Variable() {
 				class = "VARIABLE"
 			}
-			fmt.Printf("%-12s %-46s %-10.3f %-12.3g %s\n",
+			fmt.Fprintf(stdout, "%-12s %-46s %-10.3f %-12.3g %s\n",
 				name, rr.Comp, res.Speedup(rr), rr.CompareVal, class)
 		}
 	}
@@ -90,12 +155,12 @@ func parseCompilation(s string) (comp.Compilation, error) {
 	}, nil
 }
 
-func cmdBisect(args []string) error {
-	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
+func cmdBisect(args []string, stdout, stderr io.Writer) error {
+	fs, j := newFlagSet("bisect", stderr)
 	test := fs.String("test", "", "test name (e.g. Example13)")
 	compStr := fs.String("comp", "", "variable compilation, e.g. 'g++ -O3 -mavx2 -mfma'")
 	k := fs.Int("k", 0, "find only the top-k contributors (0 = all, with verification)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *test == "" || *compStr == "" {
@@ -105,6 +170,7 @@ func cmdBisect(args []string) error {
 	if err != nil {
 		return err
 	}
+	experiments.SetParallelism(*j)
 	wf := experiments.MFEMWorkflow()
 	tc := wf.TestByName(*test)
 	if tc == nil {
@@ -115,60 +181,62 @@ func cmdBisect(args []string) error {
 		return err
 	}
 	if report.NoVariability {
-		fmt.Println("no variability attributable to compiled files",
+		fmt.Fprintln(stdout, "no variability attributable to compiled files",
 			"(it may come from the link step)")
 		return nil
 	}
-	fmt.Printf("executions: %d\n", report.Execs)
+	fmt.Fprintf(stdout, "executions: %d\n", report.Execs)
 	for _, ff := range report.Files {
-		fmt.Printf("file %-22s magnitude %-12.4g symbols: %s\n", ff.File, ff.Value, ff.Status)
+		fmt.Fprintf(stdout, "file %-22s magnitude %-12.4g symbols: %s\n", ff.File, ff.Value, ff.Status)
 		for _, sf := range ff.Symbols {
-			fmt.Printf("    %-40s %.4g\n", sf.Item, sf.Value)
+			fmt.Fprintf(stdout, "    %-40s %.4g\n", sf.Item, sf.Value)
 		}
 	}
 	return nil
 }
 
-func cmdExperiments(args []string) error {
-	if len(args) == 0 {
-		args = []string{"all"}
+func cmdExperiments(args []string, stdout, stderr io.Writer) error {
+	fs, j := newFlagSet("experiments", stderr)
+	if err := parseFlags(fs, args); err != nil {
+		return err
 	}
-	names := args
-	if args[0] == "all" {
+	experiments.SetParallelism(*j)
+	names := fs.Args()
+	if len(names) == 0 || names[0] == "all" {
 		names = []string{"table1", "figure4", "figure5", "figure6", "table3",
 			"findings", "motivation", "table4", "laghos-nan", "table2", "table5", "mpi"}
 	}
 	for _, name := range names {
-		fmt.Printf("=== %s ===\n", name)
-		if err := runExperiment(name); err != nil {
+		fmt.Fprintf(stdout, "=== %s ===\n", name)
+		if err := runExperiment(name, stdout); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }
 
-func runExperiment(name string) error {
+func runExperiment(name string, w io.Writer) error {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable1(rows))
+		fmt.Fprint(w, experiments.RenderTable1(rows))
 	case "figure4":
 		for _, ex := range []int{5, 9} {
 			s, err := experiments.Figure4(ex)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%s: %d compilations\n", s.Example, len(s.Points))
+			fmt.Fprintf(w, "%s: %d compilations\n", s.Example, len(s.Points))
 			if s.HasEqual {
-				fmt.Printf("  fastest bitwise equal: %-40s speedup %.3f\n",
+				fmt.Fprintf(w, "  fastest bitwise equal: %-40s speedup %.3f\n",
 					s.FastestEqual.Comp, s.FastestEqual.Speedup)
 			}
 			if s.HasVariable {
-				fmt.Printf("  fastest variable:      %-40s speedup %.3f  variability %.3g\n",
+				fmt.Fprintf(w, "  fastest variable:      %-40s speedup %.3f  variability %.3g\n",
 					s.FastestVariable.Comp, s.FastestVariable.Speedup, s.FastestVariable.Error)
 			}
 		}
@@ -178,7 +246,7 @@ func runExperiment(name string) error {
 			return err
 		}
 		repro := 0
-		fmt.Printf("%-8s %-10s %-10s %-10s %-12s %s\n",
+		fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-12s %s\n",
 			"example", "g++", "clang++", "icpc", "variable", "fastest-reproducible")
 		for _, r := range rows {
 			bar := func(c string) string {
@@ -194,22 +262,22 @@ func runExperiment(name string) error {
 			if r.FastestIsReproducible {
 				repro++
 			}
-			fmt.Printf("%-8d %-10s %-10s %-10s %-12s %v\n", r.Example,
+			fmt.Fprintf(w, "%-8d %-10s %-10s %-10s %-12s %v\n", r.Example,
 				bar(comp.GCC), bar(comp.Clang), bar(comp.ICPC), va, r.FastestIsReproducible)
 		}
-		fmt.Printf("%d of 19 examples fastest with a bitwise-reproducible compilation (paper: 14)\n", repro)
+		fmt.Fprintf(w, "%d of 19 examples fastest with a bitwise-reproducible compilation (paper: 14)\n", repro)
 	case "figure6":
 		rows, err := experiments.Figure6()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s %-14s %-12s %-12s %s\n", "example", "# variable/244", "min err", "median err", "max err")
+		fmt.Fprintf(w, "%-8s %-14s %-12s %-12s %s\n", "example", "# variable/244", "min err", "median err", "max err")
 		for _, r := range rows {
 			if r.VariableComps == 0 {
-				fmt.Printf("%-8d %-14d (invariant)\n", r.Example, 0)
+				fmt.Fprintf(w, "%-8d %-14d (invariant)\n", r.Example, 0)
 				continue
 			}
-			fmt.Printf("%-8d %-14d %-12.3g %-12.3g %.3g\n",
+			fmt.Fprintf(w, "%-8d %-14d %-12.3g %-12.3g %.3g\n",
 				r.Example, r.VariableComps, r.MinErr, r.MedianErr, r.MaxErr)
 		}
 	case "table2":
@@ -217,12 +285,12 @@ func runExperiment(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("variable (test, compilation) pairs bisected: %d\n", total)
-		fmt.Print(experiments.RenderTable2(rows))
+		fmt.Fprintf(w, "variable (test, compilation) pairs bisected: %d\n", total)
+		fmt.Fprint(w, experiments.RenderTable2(rows))
 	case "table3":
-		fmt.Printf("%-30s %-12s %s\n", "metric", "measured", "paper")
+		fmt.Fprintf(w, "%-30s %-12s %s\n", "metric", "measured", "paper")
 		for _, r := range experiments.Table3() {
-			fmt.Printf("%-30s %-12.5g %.6g\n", r.Metric, r.Measured, r.Paper)
+			fmt.Fprintf(w, "%-30s %-12.5g %.6g\n", r.Metric, r.Measured, r.Paper)
 		}
 	case "findings":
 		fs, err := experiments.Findings()
@@ -230,10 +298,10 @@ func runExperiment(name string) error {
 			return err
 		}
 		for _, f := range fs {
-			fmt.Printf("Example %d: max relative error %.3g, %d compilations examined\n",
+			fmt.Fprintf(w, "Example %d: max relative error %.3g, %d compilations examined\n",
 				f.Example, f.MaxRelErr, len(f.Compilations))
 			for _, fn := range f.Functions {
-				fmt.Printf("    %s\n", fn)
+				fmt.Fprintf(w, "    %s\n", fn)
 			}
 		}
 	case "motivation":
@@ -241,43 +309,49 @@ func runExperiment(name string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("xlc++ -O2: energy norm %.1f, %.1f s\n", mo.NormO2, mo.SecondsO2)
-		fmt.Printf("xlc++ -O3: energy norm %.1f, %.1f s\n", mo.NormO3, mo.SecondsO3)
-		fmt.Printf("relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n",
+		fmt.Fprintf(w, "xlc++ -O2: energy norm %.1f, %.1f s\n", mo.NormO2, mo.SecondsO2)
+		fmt.Fprintf(w, "xlc++ -O3: energy norm %.1f, %.1f s\n", mo.NormO3, mo.SecondsO3)
+		fmt.Fprintf(w, "relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n",
 			100*mo.RelDiff, mo.SpeedupFactor)
 	case "table4":
 		rows, err := experiments.Table4()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable4(rows))
+		fmt.Fprint(w, experiments.RenderTable4(rows))
 	case "laghos-nan":
 		res, err := experiments.RunNaNBug()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("executions: %d (paper: 45)\nsymbols:\n", res.Execs)
+		fmt.Fprintf(w, "executions: %d (paper: 45)\nsymbols:\n", res.Execs)
 		for _, s := range res.Symbols {
-			fmt.Printf("    %s\n", s)
+			fmt.Fprintf(w, "    %s\n", s)
 		}
 	case "table5":
 		sum, err := experiments.Table5(1)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable5(sum))
+		fmt.Fprint(w, experiments.RenderTable5(sum))
 	case "table5-sample":
 		sum, err := experiments.Table5(13)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable5(sum))
+		fmt.Fprint(w, experiments.RenderTable5(sum))
 	case "mpi":
 		rows, err := experiments.MPIStudy(4, 3)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderMPI(rows))
+		fmt.Fprint(w, experiments.RenderMPI(rows))
+	case "sweep":
+		digest, err := experiments.Sweep(experiments.Parallelism())
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, digest)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/comp"
+)
+
+func TestParseCompilation(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    comp.Compilation
+		wantErr bool
+	}{
+		{
+			name: "compiler and level",
+			in:   "g++ -O2",
+			want: comp.Compilation{Compiler: "g++", OptLevel: "-O2"},
+		},
+		{
+			name: "single switch",
+			in:   "g++ -O3 -mavx2",
+			want: comp.Compilation{Compiler: "g++", OptLevel: "-O3", Switches: "-mavx2"},
+		},
+		{
+			name: "multiple switches joined",
+			in:   "icpc -O2 -fp-model fast=2",
+			want: comp.Compilation{Compiler: "icpc", OptLevel: "-O2", Switches: "-fp-model fast=2"},
+		},
+		{
+			name: "extra whitespace",
+			in:   "  clang++   -O1  ",
+			want: comp.Compilation{Compiler: "clang++", OptLevel: "-O1"},
+		},
+		{name: "empty", in: "", wantErr: true},
+		{name: "only compiler", in: "g++", wantErr: true},
+		{name: "only whitespace", in: "   ", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseCompilation(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("parseCompilation(%q) = %v, want error", tt.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseCompilation(%q): %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Errorf("parseCompilation(%q) = %+v, want %+v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunUsageExit(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring expected on stderr
+	}{
+		{name: "no arguments", args: nil, wantCode: 2, wantErr: "usage:"},
+		{name: "unknown subcommand", args: []string{"frobnicate"}, wantCode: 2, wantErr: "usage:"},
+		{name: "bisect without flags", args: []string{"bisect"}, wantCode: 1,
+			wantErr: "bisect requires -test and -comp"},
+		{name: "bisect missing comp", args: []string{"bisect", "-test", "Example13"}, wantCode: 1,
+			wantErr: "bisect requires -test and -comp"},
+		{name: "bisect malformed compilation", args: []string{"bisect", "-test", "Example13", "-comp", "g++"},
+			wantCode: 1, wantErr: "want 'compiler -Olevel"},
+		{name: "run with unknown flag", args: []string{"run", "-bogus"}, wantCode: 2,
+			wantErr: "flag provided but not defined"},
+		{name: "bisect with bad j value", args: []string{"bisect", "-j", "x"}, wantCode: 2,
+			wantErr: "invalid value"},
+		{name: "experiments unknown name", args: []string{"experiments", "no-such-table"}, wantCode: 1,
+			wantErr: `unknown experiment "no-such-table"`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tt.args, &stdout, &stderr)
+			if code != tt.wantCode {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tt.args, code, tt.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tt.wantErr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tt.wantErr)
+			}
+			// Flag-parse diagnostics come from the FlagSet itself and must
+			// not be echoed a second time by the dispatcher.
+			if n := strings.Count(stderr.String(), tt.wantErr); n > 1 {
+				t.Errorf("diagnostic %q printed %d times", tt.wantErr, n)
+			}
+		})
+	}
+}
+
+// TestHelpExitsZero: an explicit -h prints usage and succeeds, matching
+// the conventional contract scripts rely on.
+func TestHelpExitsZero(t *testing.T) {
+	for _, sub := range []string{"run", "bisect", "experiments"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{sub, "-h"}, &stdout, &stderr); code != 0 {
+			t.Errorf("%s -h: exit %d, want 0", sub, code)
+		}
+		if !strings.Contains(stderr.String(), "-j int") {
+			t.Errorf("%s -h: usage not printed: %q", sub, stderr.String())
+		}
+	}
+}
+
+// TestExperimentsSubcommand drives a cheap experiment end to end through
+// the real dispatcher, including the -j flag.
+func TestExperimentsSubcommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"experiments", "-j", "2", "table3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"=== table3 ===", "source files", "total functions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBisectSubcommandUnknownTest validates the test-name check behind
+// fully-formed flags.
+func TestBisectSubcommandUnknownTest(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"bisect", "-test", "Example99", "-comp", "g++ -O3"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown test "Example99"`) {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+// TestBisectSubcommandEndToEnd root-causes Example13 under an FMA-enabling
+// compilation — Finding 2's blame must appear on stdout.
+func TestBisectSubcommandEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"bisect", "-j", "4", "-test", "Example13", "-comp", "g++ -O3 -mavx2 -mfma"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "executions:") {
+		t.Errorf("missing execution count:\n%s", out)
+	}
+	if !strings.Contains(out, "AddMult_a_AAt") {
+		t.Errorf("Finding 2 blame (AddMult_a_AAt) not reported:\n%s", out)
+	}
+}

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/apps/laghos"
 	"repro/internal/comp"
@@ -15,47 +17,66 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// The motivating example: xlc++ -O2 -> -O3.
 	mo, err := experiments.RunMotivation()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("Motivating incident (paper §1):")
-	fmt.Printf("  xlc++ -O2: energy norm %10.1f   runtime %5.1f s\n", mo.NormO2, mo.SecondsO2)
-	fmt.Printf("  xlc++ -O3: energy norm %10.1f   runtime %5.1f s\n", mo.NormO3, mo.SecondsO3)
-	fmt.Printf("  relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n\n",
+	fmt.Fprintln(w, "Motivating incident (paper §1):")
+	fmt.Fprintf(w, "  xlc++ -O2: energy norm %10.1f   runtime %5.1f s\n", mo.NormO2, mo.SecondsO2)
+	fmt.Fprintf(w, "  xlc++ -O3: energy norm %10.1f   runtime %5.1f s\n", mo.NormO3, mo.SecondsO3)
+	fmt.Fprintf(w, "  relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n\n",
 		100*mo.RelDiff, mo.SpeedupFactor)
 
 	// The public-branch NaN bug.
 	nan, err := experiments.RunNaNBug()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("NaN bug re-discovery: %d executions (paper: 45); symbols:\n", nan.Execs)
+	fmt.Fprintf(w, "NaN bug re-discovery: %d executions (paper: 45); symbols:\n", nan.Execs)
 	for _, s := range nan.Symbols {
-		fmt.Printf("  -> %s\n", s)
+		fmt.Fprintf(w, "  -> %s\n", s)
 	}
 
 	// Table 4: digit-limited bisect against three baselines.
-	fmt.Println("\nTable 4 — Bisect statistics (files/funcs/runs for k = 1, 2, all):")
+	fmt.Fprintln(w, "\nTable 4 — Bisect statistics (files/funcs/runs for k = 1, 2, all):")
 	rows, err := experiments.Table4()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(experiments.RenderTable4(rows))
+	fmt.Fprint(w, experiments.RenderTable4(rows))
 
 	// The developers' fix restores agreement.
 	fixed := laghos.Options{EpsilonFix: true}
-	base, _ := link.FullBuild(laghos.Program(), comp.Compilation{Compiler: comp.XLC, OptLevel: "-O2"})
-	o3, _ := link.FullBuild(laghos.Program(), comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"})
-	mb, _ := base.NewMachine()
-	m3, _ := o3.NewMachine()
+	base, err := link.FullBuild(laghos.Program(), comp.Compilation{Compiler: comp.XLC, OptLevel: "-O2"})
+	if err != nil {
+		return err
+	}
+	o3, err := link.FullBuild(laghos.Program(), comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"})
+	if err != nil {
+		return err
+	}
+	mb, err := base.NewMachine()
+	if err != nil {
+		return err
+	}
+	m3, err := o3.NewMachine()
+	if err != nil {
+		return err
+	}
 	sb := laghos.Simulate(mb, fixed, 0.4)
 	s3 := laghos.Simulate(m3, fixed, 0.4)
 	nb := laghos.EnergyNorm(mb, sb.E)
 	n3 := laghos.EnergyNorm(m3, s3.E)
-	fmt.Printf("\nwith the epsilon-comparison fix: norms %.6g vs %.6g (%.2g%% apart)\n",
+	fmt.Fprintf(w, "\nwith the epsilon-comparison fix: norms %.6g vs %.6g (%.2g%% apart)\n",
 		nb, n3, 100*abs(n3-nb)/nb)
+	return nil
 }
 
 func abs(x float64) float64 {

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/apps/lulesh"
 	"repro/internal/experiments"
@@ -16,8 +18,14 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	sites := inject.EnumerateSites(lulesh.Program())
-	fmt.Printf("enumerated %d injection sites (paper: 1,094); %d total runs with 4 OP' each\n",
+	fmt.Fprintf(w, "enumerated %d injection sites (paper: 1,094); %d total runs with 4 OP' each\n",
 		len(sites), len(sites)*4)
 
 	// A couple of illustrative single injections first.
@@ -32,18 +40,19 @@ func main() {
 	} {
 		rep := study.RunOne(probe.site, probe.op)
 		if rep.Err != nil {
-			log.Fatal(rep.Err)
+			return rep.Err
 		}
-		fmt.Printf("  inject %c at %s op%d: %s (execs %d, found %v)\n",
+		fmt.Fprintf(w, "  inject %c at %s op%d: %s (execs %d, found %v)\n",
 			byte(probe.op), probe.site.Symbol, probe.site.OpIndex,
 			rep.Outcome, rep.Execs, rep.Found)
 	}
 
 	// Sampled campaign: every 7th site x 4 operations.
-	fmt.Println("\nsampled campaign (every 7th site):")
+	fmt.Fprintln(w, "\nsampled campaign (every 7th site):")
 	sum, err := experiments.Table5(7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(experiments.RenderTable5(sum))
+	fmt.Fprint(w, experiments.RenderTable5(sum))
+	return nil
 }

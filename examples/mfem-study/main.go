@@ -7,24 +7,33 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/comp"
 	"repro/internal/experiments"
 )
 
 func main() {
-	fmt.Println("running 19 examples x 244 compilations (4,636 results)...")
-	rows, err := experiments.Table1()
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nTable 1 — compiler summary:")
-	fmt.Print(experiments.RenderTable1(rows))
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintf(w, "running 19 examples x 244 compilations (4,636 results) with %d parallel evaluations...\n",
+		experiments.Parallelism())
+	rows, err := experiments.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nTable 1 — compiler summary:")
+	fmt.Fprint(w, experiments.RenderTable1(rows))
 
 	fig5, err := experiments.Figure5()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	repro := 0
 	for _, r := range fig5 {
@@ -32,28 +41,29 @@ func main() {
 			repro++
 		}
 	}
-	fmt.Printf("\nFigure 5 — %d of 19 examples are fastest under a bitwise-reproducible compilation (paper: 14)\n", repro)
+	fmt.Fprintf(w, "\nFigure 5 — %d of 19 examples are fastest under a bitwise-reproducible compilation (paper: 14)\n", repro)
 
 	fig6, err := experiments.Figure6()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("Figure 6 — example 13 relative error up to %.2f (paper: 1.83–1.97)\n",
+	fmt.Fprintf(w, "Figure 6 — example 13 relative error up to %.2f (paper: 1.83–1.97)\n",
 		fig6[12].MaxErr)
 
 	// Finding 2: root-cause example 13 under an FMA-enabling compilation.
 	wf := experiments.MFEMWorkflow()
 	target := comp.Compilation{Compiler: comp.GCC, OptLevel: "-O3", Switches: "-mavx2 -mfma"}
-	fmt.Printf("\nbisecting Example13 under %s ...\n", target)
+	fmt.Fprintf(w, "\nbisecting Example13 under %s ...\n", target)
 	report, err := wf.Bisect(wf.TestByName("Example13"), target, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%d program executions\n", report.Execs)
+	fmt.Fprintf(w, "%d program executions\n", report.Execs)
 	for _, ff := range report.Files {
-		fmt.Printf("  %s:\n", ff.File)
+		fmt.Fprintf(w, "  %s:\n", ff.File)
 		for _, sf := range ff.Symbols {
-			fmt.Printf("    -> %s (magnitude %.3g)\n", sf.Item, sf.Value)
+			fmt.Fprintf(w, "    -> %s (magnitude %.3g)\n", sf.Item, sf.Value)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMFEMStudySmoke replays the §3.1–§3.3 study end to end: Table 1,
+// Figures 5 and 6, and the Finding 2 bisect must all render.
+func TestMFEMStudySmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 1 — compiler summary:",
+		"Figure 5 —",
+		"Figure 6 —",
+		"bisecting Example13",
+		// Finding 2: the single-function blame.
+		"AddMult_a_AAt",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -5,11 +5,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/comp"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/prog"
@@ -61,13 +64,25 @@ func (t *myTest) Compare(baseline, other flit.Result) float64 {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	p := program()
+	// Step 3: pick the execution substrate — a worker pool fanning out the
+	// matrix cells and a cache memoizing repeated build/run pairs. Both
+	// are optional; results are bit-identical at any worker count, and
+	// bisect searches launched through the workflow inherit them.
 	wf := &core.Workflow{
 		Suite: &flit.Suite{
 			Prog:      p,
 			Tests:     []flit.TestCase{&myTest{p: p}},
 			Baseline:  comp.Baseline(),      // trusted: g++ -O0
 			Reference: comp.PerfReference(), // speedups vs g++ -O2
+			Pool:      exec.New(0),
+			Cache:     flit.NewCache(),
 		},
 		Matrix: comp.Matrix(), // all 244 compilations of the study
 	}
@@ -75,34 +90,35 @@ func main() {
 	// Level 1 + 2: which compilations deviate, and what does speed cost?
 	analysis, err := wf.Analyze()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rec := analysis.Recommendations()[0]
-	fmt.Printf("fastest bitwise-reproducible: %-40s speedup %.3f\n",
+	fmt.Fprintf(w, "fastest bitwise-reproducible: %-40s speedup %.3f\n",
 		rec.FastestEqual.Comp, rec.FastestEqualSpeedup)
-	fmt.Printf("fastest overall:              %-40s speedup %.3f (reproducible: %v)\n",
+	fmt.Fprintf(w, "fastest overall:              %-40s speedup %.3f (reproducible: %v)\n",
 		rec.FastestAny.Comp, rec.FastestAnySpeedup, rec.FastestIsReproducible)
 
 	variable := analysis.Results.VariableRuns()
-	fmt.Printf("variability-inducing compilations: %d of %d\n",
+	fmt.Fprintf(w, "variability-inducing compilations: %d of %d\n",
 		len(variable), len(wf.Matrix))
 	if len(variable) == 0 {
-		return
+		return nil
 	}
 
 	// Level 3: root-cause one of them down to the function.
 	target := variable[len(variable)-1].Comp
-	fmt.Printf("\nbisecting %s ...\n", target)
+	fmt.Fprintf(w, "\nbisecting %s ...\n", target)
 	report, err := wf.Bisect(wf.Suite.Tests[0], target, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%d program executions\n", report.Execs)
+	fmt.Fprintf(w, "%d program executions\n", report.Execs)
 	for _, ff := range report.Files {
-		fmt.Printf("  file %-14s (magnitude %.3g, symbol search: %s)\n",
+		fmt.Fprintf(w, "  file %-14s (magnitude %.3g, symbol search: %s)\n",
 			ff.File, ff.Value, ff.Status)
 		for _, sf := range ff.Symbols {
-			fmt.Printf("    -> %s (%.3g)\n", sf.Item, sf.Value)
+			fmt.Fprintf(w, "    -> %s (%.3g)\n", sf.Item, sf.Value)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the whole quickstart workflow — matrix analysis,
+// recommendation, bisect — and checks the narrative output is intact, so
+// the example cannot silently rot.
+func TestQuickstartSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fastest bitwise-reproducible:",
+		"fastest overall:",
+		"variability-inducing compilations:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The dot-product kernel is hot and contractible: some compilation
+	// must perturb it, and bisect must blame the kernel file.
+	if !strings.Contains(out, "bisecting") || !strings.Contains(out, "kernel.cpp") {
+		t.Errorf("bisect did not run or did not blame kernel.cpp:\n%s", out)
+	}
+}

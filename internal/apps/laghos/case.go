@@ -1,6 +1,8 @@
 package laghos
 
 import (
+	"fmt"
+
 	"repro/internal/flit"
 	"repro/internal/link"
 )
@@ -26,6 +28,18 @@ func (c *Case) Name() string {
 	default:
 		return "Laghos"
 	}
+}
+
+// CacheKey implements flit.CacheKeyer. Every Options field changes what a
+// run produces, and Name alone cannot carry them all (NaNBug wins its
+// switch even when EpsilonFix is also set), so the key encodes the full
+// options explicitly.
+func (c *Case) CacheKey() string {
+	if c.Opt == (Options{}) {
+		return c.Name()
+	}
+	return fmt.Sprintf("Laghos/nan=%t,eps=%t,cells=%d,steps=%d",
+		c.Opt.NaNBug, c.Opt.EpsilonFix, c.Opt.Cells, c.Opt.Steps)
 }
 
 // Root implements flit.TestCase.

@@ -1,6 +1,8 @@
 package lulesh
 
 import (
+	"fmt"
+
 	"repro/internal/flit"
 	"repro/internal/link"
 )
@@ -17,6 +19,15 @@ func NewCase() *Case { return &Case{} }
 
 // Name implements flit.TestCase.
 func (c *Case) Name() string { return "LULESH" }
+
+// CacheKey implements flit.CacheKeyer: runs of different lengths share a
+// name but not results.
+func (c *Case) CacheKey() string {
+	if c.Steps != 0 {
+		return fmt.Sprintf("%s/steps=%d", c.Name(), c.Steps)
+	}
+	return c.Name()
+}
 
 // Root implements flit.TestCase.
 func (c *Case) Root() string { return "main_lulesh" }

@@ -48,6 +48,16 @@ func (c *Case) WithProcs(np int) *Case {
 // Name implements flit.TestCase.
 func (c *Case) Name() string { return fmt.Sprintf("Example%02d", c.N) }
 
+// CacheKey implements flit.CacheKeyer: an MPI variant shares its name with
+// the sequential case but traverses the mesh in rank-partitioned order, so
+// the build/run cache must not conflate them.
+func (c *Case) CacheKey() string {
+	if c.procs > 1 {
+		return fmt.Sprintf("%s/np=%d", c.Name(), c.procs)
+	}
+	return c.Name()
+}
+
 // Root implements flit.TestCase.
 func (c *Case) Root() string { return exampleSymbol(c.N) }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/prog"
@@ -97,6 +98,24 @@ type Search struct {
 	Baseline comp.Compilation
 	Variable comp.Compilation
 	K        int
+	// Pool fans out the independent per-file symbol searches of a full
+	// (K <= 0) run; nil searches sequentially. The report is bit-identical
+	// either way: each file's search is self-contained and findings are
+	// collected in file order. BisectBiggest (K > 0) always runs its
+	// symbol phase sequentially — its cross-file early exit depends on the
+	// symbols found so far.
+	Pool *exec.Pool
+	// Cache memoizes test runs by build plan, so evaluations repeated
+	// across bisect steps and across searches (the baseline run above all)
+	// execute once. Execution counts are unaffected: the paper's run
+	// accounting is per search, tracked by each Searcher's own memo.
+	Cache *flit.Cache
+}
+
+// runAll executes the search's test against an executable through the
+// build/run cache when one is configured.
+func (s *Search) runAll(ex *link.Executable) (flit.Result, error) {
+	return s.Cache.RunAll(s.Test, ex)
 }
 
 // Run performs File Bisect followed by Symbol Bisect inside each found file
@@ -109,7 +128,7 @@ func (s *Search) Run() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseRes, err := flit.RunAll(s.Test, baseEx)
+	baseRes, err := s.runAll(baseEx)
 	if err != nil {
 		return nil, fmt.Errorf("bisect: baseline execution failed: %w", err)
 	}
@@ -120,7 +139,7 @@ func (s *Search) Run() (*Report, error) {
 		if err != nil {
 			return 0, err
 		}
-		got, err := flit.RunAll(s.Test, ex)
+		got, err := s.runAll(ex)
 		if err != nil {
 			return 0, err
 		}
@@ -142,55 +161,82 @@ func (s *Search) Run() (*Report, error) {
 		return report, nil
 	}
 
-	kthValue := func() float64 {
-		syms := report.AllSymbols()
-		if s.K <= 0 || len(syms) < s.K {
-			return -1
+	if s.K > 0 {
+		// BisectBiggest couples the files: a file whose whole-file
+		// magnitude is below the k-th symbol found so far is skipped, so
+		// the phase must observe earlier files' findings and stays
+		// sequential.
+		kthValue := func() float64 {
+			syms := report.AllSymbols()
+			if len(syms) < s.K {
+				return -1
+			}
+			return syms[s.K-1].Value
 		}
-		return syms[s.K-1].Value
+		for _, ff := range fileFindings {
+			finding := FileFinding{File: ff.Item, Value: ff.Value}
+			// Early exit across levels: a file whose whole-file magnitude
+			// is below the k-th found symbol cannot contain a larger
+			// symbol.
+			if ff.Value <= kthValue() {
+				finding.Status = SymbolsSkipped
+				report.Files = append(report.Files, finding)
+				continue
+			}
+			report.Execs += s.searchSymbols(&finding, baseRes)
+			report.Files = append(report.Files, finding)
+		}
+		return report, nil
 	}
 
-	for _, ff := range fileFindings {
+	// Full search: every found file gets an independent Symbol Bisect, so
+	// the per-file searches fan out through the pool. Each search is
+	// self-contained (own Searcher, own memo, own execution count); the
+	// findings are collected in file order and the counts summed, so the
+	// report is identical to the sequential one.
+	type symOut struct {
+		finding FileFinding
+		execs   int
+	}
+	outs, _ := exec.Map(s.Pool, len(fileFindings), func(i int) (symOut, error) {
+		ff := fileFindings[i]
 		finding := FileFinding{File: ff.Item, Value: ff.Value}
-		// BisectBiggest early exit across levels: a file whose whole-file
-		// magnitude is below the k-th found symbol cannot contain a
-		// larger symbol.
-		if s.K > 0 && ff.Value <= kthValue() {
-			finding.Status = SymbolsSkipped
-			report.Files = append(report.Files, finding)
-			continue
-		}
-		s.searchSymbols(&finding, baseRes, report)
-		report.Files = append(report.Files, finding)
+		execs := s.searchSymbols(&finding, baseRes)
+		return symOut{finding: finding, execs: execs}, nil
+	})
+	for _, o := range outs {
+		report.Files = append(report.Files, o.finding)
+		report.Execs += o.execs
 	}
 	return report, nil
 }
 
-// searchSymbols performs the Symbol Bisect phase for one found file.
-func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, report *Report) {
+// searchSymbols performs the Symbol Bisect phase for one found file and
+// returns how many program executions it used.
+func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result) int {
 	// The -fPIC probe: rebuild the whole file with -fPIC under the
 	// variable compilation; if the variability disappears the optimization
 	// needed translation-unit-wide freedom and the search must stop here.
 	probeEx, err := link.FPICProbeBuild(s.Prog, s.Baseline, s.Variable, finding.File)
 	if err != nil {
 		finding.Status = SymbolsCrashed
-		return
+		return 0
 	}
-	report.Execs++
-	probeRes, err := flit.RunAll(s.Test, probeEx)
+	execs := 1 // the probe run
+	probeRes, err := s.runAll(probeEx)
 	if err != nil {
 		finding.Status = SymbolsCrashed
-		return
+		return execs
 	}
 	if s.Test.Compare(baseRes, probeRes) == 0 {
 		finding.Status = FPICRemoved
-		return
+		return execs
 	}
 
 	symbols := s.Prog.ExportedSymbols(finding.File)
 	if len(symbols) == 0 {
 		finding.Status = NoExportedSymbols
-		return
+		return execs
 	}
 	names := make([]string, len(symbols))
 	for i, sym := range symbols {
@@ -202,7 +248,7 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, report
 		if err != nil {
 			return 0, err
 		}
-		got, err := flit.RunAll(s.Test, ex)
+		got, err := s.runAll(ex)
 		if err != nil {
 			return 0, err
 		}
@@ -214,7 +260,7 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, report
 	} else {
 		found, err = symSearch.All(names)
 	}
-	report.Execs += symSearch.Execs()
+	execs += symSearch.Execs()
 	finding.Symbols = found
 	switch {
 	case err == nil:
@@ -224,4 +270,5 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, report
 	default:
 		finding.Status = SymbolsAssumption
 	}
+	return execs
 }

@@ -14,7 +14,9 @@ import (
 	"repro/internal/flit"
 )
 
-// Workflow binds a FLiT suite to a compilation matrix.
+// Workflow binds a FLiT suite to a compilation matrix. The suite's Pool
+// and Cache configure every level: the Level-1 matrix run directly, and
+// the Level-3 searches launched through Bisect, which inherit them.
 type Workflow struct {
 	Suite  *flit.Suite
 	Matrix []comp.Compilation
@@ -95,6 +97,8 @@ func (w *Workflow) Bisect(test flit.TestCase, variable comp.Compilation, k int) 
 		Baseline: w.Suite.Baseline,
 		Variable: variable,
 		K:        k,
+		Pool:     w.Suite.Pool,
+		Cache:    w.Suite.Cache,
 	}
 	return s.Run()
 }

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe memoizing map with single-flight semantics:
+// for each key the compute function runs exactly once, concurrent callers
+// of the same key block until the first computation finishes, and every
+// caller observes the same value. Values must be treated as immutable by
+// all callers — they are shared, not copied.
+//
+// The reproduction uses it to memoize test runs keyed by build plan: the
+// simulated toolchain is deterministic, so a cache hit is bit-identical to
+// a re-run, and repeated evaluations during bisect hit the cache instead
+// of re-executing the program (the link step itself is cheap and redone).
+// Errors are memoized too (a deterministic toolchain fails the same way
+// every time).
+type Cache[V any] struct {
+	mu     sync.Mutex
+	m      map[string]*cacheEntry[V]
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	return &Cache[V]{m: make(map[string]*cacheEntry[V])}
+}
+
+// Do returns the memoized value for key, computing it with fn on first use.
+// A nil cache computes without memoizing, so callers can plumb an optional
+// cache through without nil checks.
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
+	if c == nil {
+		return fn()
+	}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	defer close(e.done)
+	e.val, e.err = fn()
+	return e.val, e.err
+}
+
+// Len reports how many distinct keys have been computed or are in flight.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats reports cache hits and misses, the observability hook the
+// equivalence tests use to prove memoization actually engages.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

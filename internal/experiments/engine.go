@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/apps/mfem"
+	"repro/internal/comp"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/flit"
+)
+
+// Engine bundles the execution substrate every experiment runs on: a worker
+// pool that fans out independent (compilation, test) evaluations and a
+// shared build/run cache memoizing repeated pairs across the matrix run,
+// the bisect searches, and the injection campaign. The MFEM matrix results
+// are computed once per engine and reused by every table and figure, as
+// before.
+//
+// All outputs are bit-identical regardless of the engine's parallelism:
+// every evaluation is a pure function of (compilation, test), and results
+// are always collected in submission order.
+type Engine struct {
+	pool  *exec.Pool
+	cache *flit.Cache
+
+	mfemOnce sync.Once
+	mfemRes  *flit.Results
+	mfemErr  error
+}
+
+// NewEngine returns an engine running up to parallelism evaluations at
+// once (<= 0 means one per CPU) with a fresh build/run cache.
+func NewEngine(parallelism int) *Engine {
+	return &Engine{pool: exec.New(parallelism), cache: flit.NewCache()}
+}
+
+// NewEngineNoCache returns an engine without build/run memoization — the
+// seed's re-execute-everything behavior. It exists so the benchmarks can
+// quantify what the cache is worth; every real consumer wants NewEngine.
+func NewEngineNoCache(parallelism int) *Engine {
+	return &Engine{pool: exec.New(parallelism)}
+}
+
+// Pool returns the engine's worker pool.
+func (e *Engine) Pool() *exec.Pool { return e.pool }
+
+// Cache returns the engine's build/run cache.
+func (e *Engine) Cache() *flit.Cache { return e.cache }
+
+// Suite builds the paper's MFEM FLiT suite on this engine: 19 examples,
+// baseline g++ -O0, speedups against g++ -O2.
+func (e *Engine) Suite() *flit.Suite {
+	return &flit.Suite{
+		Prog:      mfem.Program(),
+		Tests:     mfem.AllCases(),
+		Baseline:  comp.Baseline(),
+		Reference: comp.PerfReference(),
+		Pool:      e.pool,
+		Cache:     e.cache,
+	}
+}
+
+// Workflow wires the MFEM suite into the multi-level workflow; Level-3
+// bisect searches inherit the suite's pool and cache.
+func (e *Engine) Workflow() *core.Workflow {
+	return &core.Workflow{Suite: e.Suite(), Matrix: comp.Matrix()}
+}
+
+// Results runs (once per engine, memoized) the full 244-compilation ×
+// 19-example matrix — 4,636 experimental results, as in §3.1.
+func (e *Engine) Results() (*flit.Results, error) {
+	e.mfemOnce.Do(func() {
+		e.mfemRes, e.mfemErr = e.Suite().RunMatrix(comp.Matrix())
+	})
+	return e.mfemRes, e.mfemErr
+}
+
+// The package-level experiment functions (Table1, Figure4, ... — the API
+// the CLI, benchmarks, and examples consume) delegate to a process-wide
+// default engine, configured with SetParallelism.
+var (
+	defaultMu  sync.Mutex
+	defaultEng *Engine
+	defaultJ   int // 0 = one worker per CPU
+)
+
+// SetParallelism configures how many evaluations the default engine runs
+// concurrently: n <= 0 means one per CPU, 1 is fully sequential. It takes
+// effect by installing a fresh default engine, so memoized matrix results
+// and the build/run cache of the previous one are discarded — call it
+// before running experiments (the CLI maps -j straight to it).
+func SetParallelism(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultJ = n
+	defaultEng = nil
+}
+
+// Parallelism reports the default engine's concurrency bound.
+func Parallelism() int {
+	return Default().Pool().Workers()
+}
+
+// Default returns the process-wide engine, creating it on first use.
+func Default() *Engine {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultEng == nil {
+		defaultEng = NewEngine(defaultJ)
+	}
+	return defaultEng
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/laghos"
 	"repro/internal/bisect"
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/link"
 )
@@ -74,42 +75,55 @@ type Table4Row struct {
 	Files, Funcs, Runs [3]int
 }
 
+// Table4 reproduces the Laghos Bisect statistics on the default engine.
+func Table4() ([]Table4Row, error) { return Default().Table4() }
+
 // Table4 reproduces the Laghos Bisect statistics: the compilation under
 // test is xlc++ -O3 against three trusted baselines, with digit-restricted
 // comparisons and BisectBiggest k values.
-func Table4() ([]Table4Row, error) {
+//
+// The 12 (baseline, digits) row configurations are independent searches,
+// fanned out through the engine's pool and collected in row order. The
+// digit restriction only changes how results are compared, never what a
+// run produces, so all rows share cached executions via the build/run
+// cache — the paper's memoization is what makes re-running the same
+// divergence under twelve comparison regimes cheap.
+func (e *Engine) Table4() ([]Table4Row, error) {
 	variable := comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"}
 	baselines := []comp.Compilation{
 		{Compiler: comp.GCC, OptLevel: "-O2"},
 		{Compiler: comp.XLC, OptLevel: "-O2"},
 		{Compiler: comp.XLC, OptLevel: "-O3", Switches: "-qstrict=vectorprecision"},
 	}
-	var rows []Table4Row
-	for _, base := range baselines {
-		for _, digits := range []int{2, 3, 5, 0} {
-			row := Table4Row{Baseline: base, Digits: digits}
-			test := flit.WithCompare(laghos.NewCase(), flit.DigitL2Diff(digits))
-			for ki, k := range []int{1, 2, 0} {
-				s := &bisect.Search{
-					Prog:     laghos.Program(),
-					Test:     test,
-					Baseline: base,
-					Variable: variable,
-					K:        k,
-				}
-				report, err := s.Run()
-				if err != nil {
-					return nil, fmt.Errorf("laghos bisect (base %s, digits %d, k %d): %w",
-						base, digits, k, err)
-				}
-				row.Files[ki] = len(report.Files)
-				row.Funcs[ki] = len(report.AllSymbols())
-				row.Runs[ki] = report.Execs
+	allDigits := []int{2, 3, 5, 0}
+	n := len(baselines) * len(allDigits)
+	return exec.Map(e.pool, n, func(i int) (Table4Row, error) {
+		base := baselines[i/len(allDigits)]
+		digits := allDigits[i%len(allDigits)]
+		row := Table4Row{Baseline: base, Digits: digits}
+		test := flit.WithCompare(laghos.NewCase(), flit.DigitL2Diff(digits))
+		for ki, k := range []int{1, 2, 0} {
+			// Sequential inside: the Map over row configurations is the
+			// pooled fan-out level.
+			s := &bisect.Search{
+				Prog:     laghos.Program(),
+				Test:     test,
+				Baseline: base,
+				Variable: variable,
+				K:        k,
+				Cache:    e.cache,
 			}
-			rows = append(rows, row)
+			report, err := s.Run()
+			if err != nil {
+				return row, fmt.Errorf("laghos bisect (base %s, digits %d, k %d): %w",
+					base, digits, k, err)
+			}
+			row.Files[ki] = len(report.Files)
+			row.Funcs[ki] = len(report.AllSymbols())
+			row.Runs[ki] = report.Execs
 		}
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderTable4 prints Table 4 in the paper's layout.
@@ -134,12 +148,15 @@ func RenderTable4(rows []Table4Row) string {
 // table4TopFunction returns the single most-contributing function of the
 // xlc++ -O3 divergence under a 3-digit comparison — the paper's root cause.
 func table4TopFunction() (string, error) {
+	e := Default()
 	s := &bisect.Search{
 		Prog:     laghos.Program(),
 		Test:     flit.WithCompare(laghos.NewCase(), flit.DigitL2Diff(3)),
 		Baseline: comp.Compilation{Compiler: comp.XLC, OptLevel: "-O2"},
 		Variable: comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"},
 		K:        1,
+		Pool:     e.Pool(),
+		Cache:    e.Cache(),
 	}
 	report, err := s.Run()
 	if err != nil {
@@ -161,14 +178,19 @@ type NaNBugResult struct {
 	Execs   int
 }
 
+// RunNaNBug reproduces the NaN-bug re-discovery on the default engine.
+func RunNaNBug() (*NaNBugResult, error) { return Default().RunNaNBug() }
+
 // RunNaNBug reproduces the automated re-discovery of the xsw
 // undefined-behavior bug.
-func RunNaNBug() (*NaNBugResult, error) {
+func (e *Engine) RunNaNBug() (*NaNBugResult, error) {
 	s := &bisect.Search{
 		Prog:     laghos.Program(),
 		Test:     &laghos.Case{Opt: laghos.Options{NaNBug: true}},
 		Baseline: comp.Compilation{Compiler: comp.GCC, OptLevel: "-O2"},
 		Variable: comp.Compilation{Compiler: comp.XLC, OptLevel: "-O3"},
+		Pool:     e.pool,
+		Cache:    e.cache,
 	}
 	report, err := s.Run()
 	if err != nil {

@@ -9,24 +9,35 @@ import (
 	"repro/internal/inject"
 )
 
+// LULESHStudy returns the injection study driver on the default engine.
+func LULESHStudy() *inject.Study { return Default().LULESHStudy() }
+
 // LULESHStudy returns the injection study driver (§3.5): the LULESH proxy
-// compiled with clang (the paper's pass is an LLVM pass) at -O2.
-func LULESHStudy() *inject.Study {
+// compiled with clang (the paper's pass is an LLVM pass) at -O2. The study
+// fans its independent detect-and-bisect injections out through the
+// engine's pool, and its clean-baseline detection run — repeated by every
+// injection — is memoized by the engine's cache.
+func (e *Engine) LULESHStudy() *inject.Study {
 	return &inject.Study{
 		Prog:     lulesh.Program(),
 		Test:     lulesh.NewCase(),
 		Baseline: comp.Compilation{Compiler: comp.Clang, OptLevel: "-O2"},
+		Pool:     e.pool,
+		Cache:    e.cache,
 	}
 }
+
+// Table5 runs the injection campaign on the default engine.
+func Table5(stride int) (inject.Summary, error) { return Default().Table5(stride) }
 
 // Table5 runs the injection campaign and aggregates the outcome counts.
 // stride > 1 samples every stride-th site (for quick runs); 1 runs the full
 // 1,094 sites × 4 OP' = 4,376 injections of the paper.
-func Table5(stride int) (inject.Summary, error) {
+func (e *Engine) Table5(stride int) (inject.Summary, error) {
 	if stride < 1 {
 		stride = 1
 	}
-	s := LULESHStudy()
+	s := e.LULESHStudy()
 	all := inject.EnumerateSites(s.Prog)
 	var sites []inject.Site
 	for i := 0; i < len(all); i += stride {

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/apps/mfem"
 	"repro/internal/comp"
@@ -24,31 +23,13 @@ import (
 	"repro/internal/flit"
 )
 
-var (
-	mfemOnce sync.Once
-	mfemRes  *flit.Results
-	mfemErr  error
-)
-
-// MFEMSuite builds the paper's MFEM FLiT suite: 19 examples, baseline
-// g++ -O0, speedups against g++ -O2.
-func MFEMSuite() *flit.Suite {
-	return &flit.Suite{
-		Prog:      mfem.Program(),
-		Tests:     mfem.AllCases(),
-		Baseline:  comp.Baseline(),
-		Reference: comp.PerfReference(),
-	}
-}
+// MFEMSuite builds the paper's MFEM FLiT suite on the default engine: 19
+// examples, baseline g++ -O0, speedups against g++ -O2.
+func MFEMSuite() *flit.Suite { return Default().Suite() }
 
 // MFEMResults runs (once, cached) the full 244-compilation × 19-example
 // matrix — 4,636 experimental results, as in §3.1.
-func MFEMResults() (*flit.Results, error) {
-	mfemOnce.Do(func() {
-		mfemRes, mfemErr = MFEMSuite().RunMatrix(comp.Matrix())
-	})
-	return mfemRes, mfemErr
-}
+func MFEMResults() (*flit.Results, error) { return Default().Results() }
 
 // Table1Row is one compiler's summary (Table 1).
 type Table1Row struct {
@@ -61,10 +42,13 @@ type Table1Row struct {
 	Speedup      float64
 }
 
+// Table1 reproduces Table 1 on the default engine.
+func Table1() ([]Table1Row, error) { return Default().Table1() }
+
 // Table1 reproduces Table 1: per-compiler variability rates and the best
 // average compilation.
-func Table1() ([]Table1Row, error) {
-	res, err := MFEMResults()
+func (e *Engine) Table1() ([]Table1Row, error) {
+	res, err := e.Results()
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +99,13 @@ type Figure4Series struct {
 	HasVariable     bool
 }
 
+// Figure4 reproduces one panel of Figure 4 on the default engine.
+func Figure4(example int) (*Figure4Series, error) { return Default().Figure4(example) }
+
 // Figure4 reproduces one panel of Figure 4: compilations of one example
 // ordered slowest to fastest, marked bitwise-equal or variable.
-func Figure4(example int) (*Figure4Series, error) {
-	res, err := MFEMResults()
+func (e *Engine) Figure4(example int) (*Figure4Series, error) {
+	res, err := e.Results()
 	if err != nil {
 		return nil, err
 	}
@@ -159,9 +146,13 @@ type Figure5Row struct {
 	FastestIsReproducible bool
 }
 
+// Figure5 reproduces the performance histogram of Figure 5 on the default
+// engine.
+func Figure5() ([]Figure5Row, error) { return Default().Figure5() }
+
 // Figure5 reproduces the performance histogram of Figure 5.
-func Figure5() ([]Figure5Row, error) {
-	res, err := MFEMResults()
+func (e *Engine) Figure5() ([]Figure5Row, error) {
+	res, err := e.Results()
 	if err != nil {
 		return nil, err
 	}
@@ -198,10 +189,13 @@ type Figure6Row struct {
 	MaxErr        float64
 }
 
+// Figure6 reproduces Figure 6 on the default engine.
+func Figure6() ([]Figure6Row, error) { return Default().Figure6() }
+
 // Figure6 reproduces Figure 6: per-example count of variability-inducing
 // compilations and the spread of relative ℓ2 errors.
-func Figure6() ([]Figure6Row, error) {
-	res, err := MFEMResults()
+func (e *Engine) Figure6() ([]Figure6Row, error) {
+	res, err := e.Results()
 	if err != nil {
 		return nil, err
 	}
@@ -241,10 +235,9 @@ func Table3() []Table3Row {
 	}
 }
 
-// MFEMWorkflow wires the MFEM suite into the multi-level workflow.
-func MFEMWorkflow() *core.Workflow {
-	return &core.Workflow{Suite: MFEMSuite(), Matrix: comp.Matrix()}
-}
+// MFEMWorkflow wires the MFEM suite into the multi-level workflow on the
+// default engine.
+func MFEMWorkflow() *core.Workflow { return Default().Workflow() }
 
 // Finding describes one of the two findings reported to the MFEM team.
 type Finding struct {
@@ -257,15 +250,20 @@ type Finding struct {
 	MaxRelErr float64
 }
 
+// Findings reproduces Findings 1 and 2 on the default engine.
+func Findings() ([]Finding, error) { return Default().Findings() }
+
 // Findings reproduces Findings 1 and 2 (§3.2): the multi-function mat/vec
 // blame of example 8 and the single-function AddMult_a_AAt blame of
-// example 13.
-func Findings() ([]Finding, error) {
-	res, err := MFEMResults()
+// example 13. The searches stay sequential — the 5-compilation cap makes
+// later searches depend on earlier outcomes — but repeated build/run pairs
+// hit the engine's cache.
+func (e *Engine) Findings() ([]Finding, error) {
+	res, err := e.Results()
 	if err != nil {
 		return nil, err
 	}
-	wf := MFEMWorkflow()
+	wf := e.Workflow()
 	var out []Finding
 	for _, exN := range []int{8, 13} {
 		name := mfem.NewCase(exN).Name()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps/mfem"
 	"repro/internal/bisect"
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/link"
 )
@@ -28,13 +29,19 @@ type MPIRow struct {
 	Checked bool
 }
 
+// MPIStudy reproduces §3.6 on the default engine.
+func MPIStudy(np, repeats int) ([]MPIRow, error) { return Default().MPIStudy(np, repeats) }
+
 // MPIStudy reproduces §3.6 on the 2-D MFEM examples (the ones whose
-// assembly a domain decomposition reorders), under np simulated ranks.
-func MPIStudy(np, repeats int) ([]MPIRow, error) {
+// assembly a domain decomposition reorders), under np simulated ranks. The
+// per-example rows are independent and fan out through the engine's pool.
+// The repeated-determinism probe deliberately bypasses the build/run cache
+// — a memoized repeat would be trivially bitwise-equal and prove nothing.
+func (e *Engine) MPIStudy(np, repeats int) ([]MPIRow, error) {
 	if repeats < 2 {
 		repeats = 2
 	}
-	res, err := MFEMResults()
+	res, err := e.Results()
 	if err != nil {
 		return nil, err
 	}
@@ -43,25 +50,26 @@ func MPIStudy(np, repeats int) ([]MPIRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []MPIRow
-	for _, exN := range []int{2, 4, 5, 7, 8, 14, 17} {
+	examples := []int{2, 4, 5, 7, 8, 14, 17}
+	return exec.Map(e.pool, len(examples), func(i int) (MPIRow, error) {
+		exN := examples[i]
 		seqCase := mfem.NewCase(exN)
 		parCase := seqCase.WithProcs(np)
 		row := MPIRow{Example: exN}
 
-		seq, err := flit.RunAll(seqCase, baseEx)
+		seq, err := e.cache.RunAll(seqCase, baseEx)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
-		first, err := flit.RunAll(parCase, baseEx)
+		first, err := e.cache.RunAll(parCase, baseEx)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		row.Deterministic = true
 		for i := 1; i < repeats; i++ {
 			again, err := flit.RunAll(parCase, baseEx)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
 			if flit.L2Diff(first, again) != 0 {
 				row.Deterministic = false
@@ -80,17 +88,20 @@ func MPIStudy(np, repeats int) ([]MPIRow, error) {
 		}
 		if found {
 			row.Checked = true
+			// Sequential inside: the Map over examples is the pooled
+			// fan-out level.
 			seqReport, err1 := (&bisect.Search{Prog: p, Test: seqCase,
-				Baseline: comp.Baseline(), Variable: variable}).Run()
+				Baseline: comp.Baseline(), Variable: variable,
+				Cache: e.cache}).Run()
 			parReport, err2 := (&bisect.Search{Prog: p, Test: parCase,
-				Baseline: comp.Baseline(), Variable: variable}).Run()
+				Baseline: comp.Baseline(), Variable: variable,
+				Cache: e.cache}).Run()
 			if err1 == nil && err2 == nil {
 				row.SameBlame = sameBlame(seqReport, parReport)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func sameBlame(a, b *bisect.Report) bool {

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comp"
+)
+
+// TestSweepParallelEquivalence is the PR's headline acceptance proof: the
+// full experiments sweep — matrix, Table 2 bisect characterization, Laghos
+// case study, sampled injection campaign — produces byte-identical output
+// at -j 8 and -j 1.
+func TestSweepParallelEquivalence(t *testing.T) {
+	seq, err := Sweep(1)
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	par, err := Sweep(8)
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	if seq != par {
+		line := 0
+		seqLines, parLines := strings.Split(seq, "\n"), strings.Split(par, "\n")
+		for i := 0; i < len(seqLines) && i < len(parLines); i++ {
+			if seqLines[i] != parLines[i] {
+				line = i
+				break
+			}
+		}
+		t.Fatalf("sweep digests differ at line %d:\n  -j 1: %q\n  -j 8: %q",
+			line, seqLines[line], parLines[line])
+	}
+	if !strings.Contains(seq, "== Table 5") {
+		t.Fatal("sweep digest missing sections")
+	}
+}
+
+// TestBisectFoundSetEquivalence asserts a parallel bisect search returns
+// the identical found set — files, symbols, values, statuses, and the
+// paper's execution count — as a sequential one.
+func TestBisectFoundSetEquivalence(t *testing.T) {
+	variable := comp.Compilation{Compiler: comp.GCC, OptLevel: "-O3", Switches: "-mavx2 -mfma"}
+
+	seqEng := NewEngine(1)
+	parEng := NewEngine(8)
+	for _, test := range []string{"Example08", "Example13"} {
+		seqWf := seqEng.Workflow()
+		seqReport, err := seqWf.Bisect(seqWf.TestByName(test), variable, 0)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", test, err)
+		}
+		parWf := parEng.Workflow()
+		parReport, err := parWf.Bisect(parWf.TestByName(test), variable, 0)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", test, err)
+		}
+		if seqReport.Execs != parReport.Execs {
+			t.Errorf("%s: execs %d (seq) != %d (par)", test, seqReport.Execs, parReport.Execs)
+		}
+		if len(seqReport.Files) != len(parReport.Files) {
+			t.Fatalf("%s: %d files (seq) != %d (par)", test, len(seqReport.Files), len(parReport.Files))
+		}
+		for i := range seqReport.Files {
+			sf, pf := seqReport.Files[i], parReport.Files[i]
+			if sf.File != pf.File || sf.Value != pf.Value || sf.Status != pf.Status {
+				t.Errorf("%s file %d: (%s %g %v) != (%s %g %v)",
+					test, i, sf.File, sf.Value, sf.Status, pf.File, pf.Value, pf.Status)
+			}
+			if len(sf.Symbols) != len(pf.Symbols) {
+				t.Fatalf("%s %s: %d symbols != %d", test, sf.File, len(sf.Symbols), len(pf.Symbols))
+			}
+			for j := range sf.Symbols {
+				if sf.Symbols[j] != pf.Symbols[j] {
+					t.Errorf("%s %s symbol %d: %v != %v",
+						test, sf.File, j, sf.Symbols[j], pf.Symbols[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCacheEngages proves the build/run cache actually memoizes across the
+// sweep's consumers: a fresh engine that runs Table 4 (twelve comparison
+// regimes over the same divergence) must see far more cache hits than
+// misses.
+func TestCacheEngages(t *testing.T) {
+	e := NewEngine(2)
+	if _, err := e.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.Cache().Stats()
+	if misses == 0 {
+		t.Fatal("cache recorded no misses — nothing went through it")
+	}
+	if hits < misses {
+		t.Errorf("cache hits %d < misses %d; memoization is not engaging", hits, misses)
+	}
+}
+
+// TestSetParallelismRebuildsDefault exercises the package-level knob the
+// CLI's -j flag maps to.
+func TestSetParallelismRebuildsDefault(t *testing.T) {
+	defer SetParallelism(0) // restore the CPU-bound default for other tests
+
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Errorf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	first := Default()
+	SetParallelism(1)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("Parallelism() = %d after SetParallelism(1)", got)
+	}
+	if Default() == first {
+		t.Error("SetParallelism did not install a fresh default engine")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bisect"
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/flit"
 )
 
@@ -28,16 +29,25 @@ type Table2Row struct {
 	FPICRemoved int
 }
 
+// Table2 runs the Bisect characterization on the default engine.
+func Table2(limit int) ([]Table2Row, int, error) { return Default().Table2(limit) }
+
 // Table2 runs FLiT Bisect on the variability-inducing (test, compilation)
 // pairs found by the MFEM matrix and aggregates per compiler, as §3.2 does
 // for all 1,086 variable compilations. limit > 0 caps the number of
 // searches per compiler (for quick runs); 0 examines everything.
-func Table2(limit int) ([]Table2Row, int, error) {
-	res, err := MFEMResults()
+//
+// The searches are mutually independent, so they fan out through the
+// engine's pool: the pairs to examine are selected first (sequentially, so
+// the limit cap picks exactly the pairs a sequential run would), the
+// hierarchical searches run concurrently, and the reports are folded into
+// the per-compiler aggregates in selection order.
+func (e *Engine) Table2(limit int) ([]Table2Row, int, error) {
+	res, err := e.Results()
 	if err != nil {
 		return nil, 0, err
 	}
-	wf := MFEMWorkflow()
+	wf := e.Workflow()
 	type agg struct {
 		execs             int
 		searches          int
@@ -50,6 +60,7 @@ func Table2(limit int) ([]Table2Row, int, error) {
 		byCompiler[c] = &agg{}
 	}
 	totalVariable := 0
+	var selected []flit.RunResult
 	for _, rr := range res.VariableRuns() {
 		a := byCompiler[rr.Comp.Compiler]
 		if a == nil {
@@ -60,7 +71,29 @@ func Table2(limit int) ([]Table2Row, int, error) {
 			continue
 		}
 		a.fileTotal++
-		report, err := wf.Bisect(wf.TestByName(rr.Test), rr.Comp, 0)
+		selected = append(selected, rr)
+	}
+	type searchOut struct {
+		report *bisect.Report
+		err    error
+	}
+	outs, _ := exec.Map(e.pool, len(selected), func(i int) (searchOut, error) {
+		rr := selected[i]
+		// Each search runs sequentially inside: this Map is already the
+		// pooled fan-out level, so -j stays the true concurrency bound.
+		s := &bisect.Search{
+			Prog:     wf.Suite.Prog,
+			Test:     wf.TestByName(rr.Test),
+			Baseline: wf.Suite.Baseline,
+			Variable: rr.Comp,
+			Cache:    e.cache,
+		}
+		report, err := s.Run()
+		return searchOut{report: report, err: err}, nil
+	})
+	for i, out := range outs {
+		a := byCompiler[selected[i].Comp.Compiler]
+		report, err := out.report, out.err
 		if report != nil {
 			a.execs += report.Execs
 			a.searches++

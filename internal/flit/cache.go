@@ -1,0 +1,89 @@
+package flit
+
+import (
+	"repro/internal/exec"
+	"repro/internal/link"
+)
+
+// CacheKeyer is implemented by test cases whose run identity is not fully
+// captured by Name() — e.g. the MPI variants of the MFEM examples, which
+// share a name with their sequential counterpart but traverse the mesh in
+// rank-partitioned order. The build/run cache keys on CacheKey() when
+// present and Name() otherwise.
+type CacheKeyer interface {
+	CacheKey() string
+}
+
+// TestKey resolves the cache identity of a test case, unwrapping metric
+// overrides: WithCompare changes only how results are judged, not what a
+// run produces, so digit-restricted views of the same test share cached
+// executions.
+func TestKey(t TestCase) string {
+	for {
+		if k, ok := t.(CacheKeyer); ok {
+			return k.CacheKey()
+		}
+		if u, ok := t.(interface{ Unwrap() TestCase }); ok {
+			t = u.Unwrap()
+			continue
+		}
+		return t.Name()
+	}
+}
+
+type runVal struct {
+	res Result
+	err error
+}
+
+// Cache memoizes test runs keyed by (program, build plan, test): the
+// concurrency-safe equivalent of FLiT's memoized bisect evaluations, where
+// the same linkage combination is never re-executed. (The simulated link
+// step is cheap map construction and is not memoized.) Cached Results are
+// shared — callers must treat them as read-only, which every comparison in
+// the reproduction does. A nil *Cache is valid and simply runs everything.
+type Cache struct {
+	runs  *exec.Cache[runVal]
+	costs *exec.Cache[float64]
+}
+
+// NewCache returns an empty build/run cache.
+func NewCache() *Cache {
+	return &Cache{runs: exec.NewCache[runVal](), costs: exec.NewCache[float64]()}
+}
+
+// RunAll is the memoizing form of the package-level RunAll: the first
+// evaluation of a (executable, test) pair executes, every repeat — across
+// bisect steps, searches, and experiment drivers — is a cache hit with a
+// bit-identical Result. Run errors are memoized too: the toolchain is
+// deterministic, so a crashed combination crashes every time.
+func (c *Cache) RunAll(t TestCase, ex *link.Executable) (Result, error) {
+	if c == nil {
+		return RunAll(t, ex)
+	}
+	v, _ := c.runs.Do(ex.Key()+"\x00"+TestKey(t), func() (runVal, error) {
+		r, err := RunAll(t, ex)
+		return runVal{res: r, err: err}, nil
+	})
+	return v.res, v.err
+}
+
+// Cost memoizes the deterministic cost model per (executable, root): the
+// matrix runner charges every cell's runtime through this.
+func (c *Cache) Cost(ex *link.Executable, root string) float64 {
+	if c == nil {
+		return ex.Cost(root)
+	}
+	v, _ := c.costs.Do(ex.Key()+"\x00"+root, func() (float64, error) {
+		return ex.Cost(root), nil
+	})
+	return v
+}
+
+// Stats reports (hits, misses) of the run cache.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.runs.Stats()
+}

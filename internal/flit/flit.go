@@ -152,6 +152,10 @@ func (c compareOverride) Compare(baseline, other Result) float64 {
 	return c.cmp(baseline, other)
 }
 
+// Unwrap exposes the underlying test case, so the build/run cache can see
+// through metric overrides (they do not change what a run produces).
+func (c compareOverride) Unwrap() TestCase { return c.TestCase }
+
 // RunAll executes a test (all of its data-driven chunks) against an
 // executable and concatenates the chunk results.
 func RunAll(t TestCase, ex *link.Executable) (Result, error) {

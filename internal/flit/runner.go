@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/link"
 	"repro/internal/prog"
 )
@@ -20,6 +21,13 @@ type Suite struct {
 	// Reference is the compilation speedups are reported against
 	// (g++ -O2 in the paper). Zero value means Baseline.
 	Reference comp.Compilation
+	// Pool fans out the independent cells of the compilation × test matrix.
+	// nil runs sequentially; any worker count produces bit-identical
+	// Results, collected in matrix order regardless of completion order.
+	Pool *exec.Pool
+	// Cache memoizes build/run pairs across cells and across consumers
+	// (bisect searches, experiment drivers). nil disables memoization.
+	Cache *Cache
 }
 
 // RunResult is one cell of the compilation matrix: one test under one
@@ -60,13 +68,19 @@ func (s *Suite) BaselineResult(t TestCase) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return RunAll(t, ex)
+	return s.Cache.RunAll(t, ex)
 }
 
 // RunMatrix executes every test under every compilation, comparing each
 // result against the baseline compilation's result. Full builds are never
 // object-file mixes, so they cannot segfault; an error in a cell is
 // recorded, not fatal.
+//
+// With a Pool on the suite the compilations evaluate concurrently — each
+// cell is an independent build/run pair, the paper's massively parallel
+// sweep — and the collected Results are bit-identical to a sequential run:
+// cells are stored in matrix × suite order, and every evaluation is a pure
+// function of (compilation, test).
 func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 	res := &Results{
 		Suite:    s,
@@ -80,23 +94,37 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flit: building reference: %w", err)
 	}
-	for _, t := range s.Tests {
+	type baseVal struct {
+		res     Result
+		norm    float64
+		refTime float64
+	}
+	bases, err := exec.Map(s.Pool, len(s.Tests), func(i int) (baseVal, error) {
+		t := s.Tests[i]
 		base, err := s.BaselineResult(t)
 		if err != nil {
-			return nil, fmt.Errorf("flit: baseline run of %s: %w", t.Name(), err)
+			return baseVal{}, fmt.Errorf("flit: baseline run of %s: %w", t.Name(), err)
 		}
-		res.baseline[t.Name()] = base
-		res.baseNorm[t.Name()] = base.Norm()
-		res.refTime[t.Name()] = refEx.Cost(t.Root())
+		return baseVal{res: base, norm: base.Norm(), refTime: s.Cache.Cost(refEx, t.Root())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, c := range matrix {
+	for i, t := range s.Tests {
+		res.baseline[t.Name()] = bases[i].res
+		res.baseNorm[t.Name()] = bases[i].norm
+		res.refTime[t.Name()] = bases[i].refTime
+	}
+	cells, err := exec.Map(s.Pool, len(matrix), func(ci int) ([]RunResult, error) {
+		c := matrix[ci]
 		ex, err := link.FullBuild(s.Prog, c)
 		if err != nil {
 			return nil, fmt.Errorf("flit: building %s: %w", c, err)
 		}
-		for _, t := range s.Tests {
-			rr := RunResult{Test: t.Name(), Comp: c, Time: ex.Cost(t.Root())}
-			got, err := RunAll(t, ex)
+		row := make([]RunResult, len(s.Tests))
+		for ti, t := range s.Tests {
+			rr := RunResult{Test: t.Name(), Comp: c, Time: s.Cache.Cost(ex, t.Root())}
+			got, err := s.Cache.RunAll(t, ex)
 			if err != nil {
 				rr.Err = err
 			} else {
@@ -107,7 +135,16 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 					rr.RelativeErr = rr.CompareVal
 				}
 			}
-			res.byTest[t.Name()] = append(res.byTest[t.Name()], rr)
+			row[ti] = rr
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range cells {
+		for _, rr := range row {
+			res.byTest[rr.Test] = append(res.byTest[rr.Test], rr)
 		}
 	}
 	return res, nil

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bisect"
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/flit"
 	"repro/internal/fp"
 	"repro/internal/link"
@@ -109,6 +110,13 @@ type Study struct {
 	Prog     *prog.Program
 	Test     flit.TestCase
 	Baseline comp.Compilation
+	// Pool fans out the independent (site, OP') injection runs; nil runs
+	// the campaign sequentially. Outcomes are aggregated in site × OP'
+	// order, so the Summary is identical either way.
+	Pool *exec.Pool
+	// Cache memoizes build/run pairs — above all the clean-baseline
+	// detection run, which every injection of the campaign repeats.
+	Cache *flit.Cache
 }
 
 // RunOne injects at a single site with a single OP' and scores the result.
@@ -122,7 +130,7 @@ func (s *Study) RunOne(site Site, op fp.InjectOp) RunReport {
 		rep.Err = err
 		return rep
 	}
-	baseRes, err := flit.RunAll(s.Test, baseEx)
+	baseRes, err := s.Cache.RunAll(s.Test, baseEx)
 	if err != nil {
 		rep.Err = err
 		return rep
@@ -132,7 +140,7 @@ func (s *Study) RunOne(site Site, op fp.InjectOp) RunReport {
 		rep.Err = err
 		return rep
 	}
-	injRes, err := flit.RunAll(s.Test, injEx)
+	injRes, err := s.Cache.RunAll(s.Test, injEx)
 	if err != nil {
 		rep.Err = err
 		return rep
@@ -143,8 +151,12 @@ func (s *Study) RunOne(site Site, op fp.InjectOp) RunReport {
 		return rep
 	}
 
+	// The bisect search runs sequentially: the campaign already fans out
+	// across injections through the pool, and nesting a second pooled
+	// level would multiply concurrency past the configured bound.
 	search := &bisect.Search{Prog: s.Prog, Test: s.Test,
-		Baseline: s.Baseline, Variable: injected}
+		Baseline: s.Baseline, Variable: injected,
+		Cache: s.Cache}
 	report, err := search.Run()
 	if report != nil {
 		rep.Execs += report.Execs
@@ -237,21 +249,26 @@ func (s Summary) Recall() float64 {
 }
 
 // Run executes the full study: every site × every OP'. The sites slice may
-// be a subset for sampled runs; nil means all sites of the program.
+// be a subset for sampled runs; nil means all sites of the program. Every
+// injection is an independent detect-and-bisect evaluation, so the campaign
+// fans out through the study's pool; reports are folded into the Summary in
+// site × OP' order, making the aggregate identical to a sequential run.
 func (s *Study) Run(sites []Site) Summary {
 	if sites == nil {
 		sites = EnumerateSites(s.Prog)
 	}
+	ops := fp.AllInjectOps
+	n := len(sites) * len(ops)
+	reps, _ := exec.Map(s.Pool, n, func(i int) (RunReport, error) {
+		return s.RunOne(sites[i/len(ops)], ops[i%len(ops)]), nil
+	})
 	sum := Summary{Counts: make(map[Outcome]int)}
-	for _, site := range sites {
-		for _, op := range fp.AllInjectOps {
-			rep := s.RunOne(site, op)
-			sum.Counts[rep.Outcome]++
-			sum.Total++
-			if rep.Outcome != NotMeasurable {
-				sum.TotalRuns += rep.Execs
-				sum.Bisected++
-			}
+	for _, rep := range reps {
+		sum.Counts[rep.Outcome]++
+		sum.Total++
+		if rep.Outcome != NotMeasurable {
+			sum.TotalRuns += rep.Execs
+			sum.Bisected++
 		}
 	}
 	return sum

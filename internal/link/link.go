@@ -17,6 +17,9 @@ package link
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/comp"
 	"repro/internal/prog"
@@ -60,6 +63,9 @@ type Executable struct {
 	symComp  map[string]comp.Compilation
 	driver   string
 	crash    bool
+
+	keyOnce sync.Once
+	key     string
 }
 
 // Link builds an executable from a plan. An error is returned for malformed
@@ -125,6 +131,57 @@ func (e *Executable) abiHazard() bool {
 
 // Crashes reports whether running this executable segfaults.
 func (e *Executable) Crashes() bool { return e.crash }
+
+// Key returns a canonical identity string for the build plan behind this
+// executable: program, baseline compilation, link driver, and every file-
+// and symbol-level override in sorted order. Two executables with equal
+// keys run identically (the toolchain is deterministic), which is what
+// makes the key usable as a build/run-cache address. Program identity is
+// the program name; the cache scope assumes distinct programs have
+// distinct names, which holds for the singleton app registries.
+//
+// An Executable is immutable after Link, so the key is computed once and
+// memoized — cache lookups repeat it thousands of times per matrix run.
+func (e *Executable) Key() string {
+	e.keyOnce.Do(func() { e.key = e.buildKey() })
+	return e.key
+}
+
+func (e *Executable) buildKey() string {
+	var b strings.Builder
+	b.WriteString(e.prog.Name)
+	b.WriteString("|base=")
+	b.WriteString(e.baseline.Key())
+	b.WriteString("|driver=")
+	b.WriteString(e.driver)
+	if len(e.fileComp) > 0 {
+		files := make([]string, 0, len(e.fileComp))
+		for f := range e.fileComp {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			b.WriteString("|f:")
+			b.WriteString(f)
+			b.WriteString("=")
+			b.WriteString(e.fileComp[f].Key())
+		}
+	}
+	if len(e.symComp) > 0 {
+		syms := make([]string, 0, len(e.symComp))
+		for s := range e.symComp {
+			syms = append(syms, s)
+		}
+		sort.Strings(syms)
+		for _, s := range syms {
+			b.WriteString("|s:")
+			b.WriteString(s)
+			b.WriteString("=")
+			b.WriteString(e.symComp[s].Key())
+		}
+	}
+	return b.String()
+}
 
 // Driver returns the linking compiler.
 func (e *Executable) Driver() string { return e.driver }

@@ -1,0 +1,18 @@
+#!/bin/sh
+# ci.sh — the canonical tier-1+ gate (see ROADMAP.md).
+#
+#   go vet           static checks
+#   go build         tier-1, part 1
+#   go test -race    tier-1, part 2, with the race detector: the parallel
+#                    execution engine (internal/exec and everything wired
+#                    through it) must be data-race-free at every -j
+#   bench smoke      one iteration of the cheap benchmarks, so the
+#                    benchmark harness itself cannot rot
+#
+# Run from the repository root: ./scripts/ci.sh
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run NONE -bench 'BenchmarkTable3CodeStats|BenchmarkMotivation' -benchtime 1x .
