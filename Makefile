@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race bench-smoke bench shard-smoke bench-shard
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke shard-smoke bench-shard
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,23 @@ race:
 # running without paying for the full study regeneration.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkTable3CodeStats|BenchmarkMotivation' -benchtime 1x .
+
+# The distributed protocol end to end through real binaries: quickstart as
+# 2 shards + merge must be byte-identical to the unsharded run.
+shard-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/quickstart ./examples/quickstart && \
+	$$tmp/quickstart >$$tmp/unsharded.txt && \
+	$$tmp/quickstart -shard 0/2 -shard-out $$tmp/s0.json && \
+	$$tmp/quickstart -shard 1/2 -shard-out $$tmp/s1.json && \
+	$$tmp/quickstart -merge $$tmp/s0.json,$$tmp/s1.json >$$tmp/merged.txt && \
+	diff $$tmp/unsharded.txt $$tmp/merged.txt && echo "shard smoke: byte-identical"
+
+# One iteration of the engine sweep benchmark, appending its timings to
+# BENCH_shard.json (the recorded perf trajectory of the engine).
+bench-shard:
+	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard.json \
+		$(GO) test -run NONE -bench BenchmarkParallelEngineSweep -benchtime 1x .
 
 # The full benchmark suite regenerates every table and figure of the paper
 # and times the parallel engine (BenchmarkParallelEngineSweep).

@@ -9,12 +9,17 @@
 package repro
 
 import (
+	"encoding/json"
+	"math"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/flit"
 	"repro/internal/inject"
 )
 
@@ -198,19 +203,28 @@ func BenchmarkTable5Injection(b *testing.B) {
 
 // BenchmarkParallelEngineSweep times the experiments sweep (matrix +
 // Table 2 characterization + Laghos case study + sampled injection
-// campaign) under three engine configurations and reports the speedups the
+// campaign) under four engine configurations and reports the speedups the
 // execution engine buys:
 //
 //   - j1-uncached: the seed's behavior — sequential, every build/run pair
 //     re-executed;
 //   - j1-cached: sequential with the memoizing build/run cache;
-//   - j4-cached: four-way fan-out plus the cache.
+//   - j4-cached: four-way fan-out plus the cache;
+//   - shard2: the distributed protocol — two shard engines each computing
+//     half the job space, artifact export/import, and the merge replay
+//     (shard2-max-sec is the slower shard, the wall-clock of a two-machine
+//     campaign; shard2-merge-sec is the replay cost on the collector).
 //
 // "cache-speedup-x" (j1-cached vs j1-uncached) is hardware-independent.
 // "j4-vs-j1-speedup-x" measures the worker-pool fan-out and scales with
 // available CPUs — on a single-CPU host it is ~1.0 by physics; the pool
 // still bounds concurrency correctly and the outputs stay bit-identical
-// (the sweep digests are compared every iteration).
+// (the sweep digests are compared every iteration, including the merged
+// replay's).
+//
+// With BENCH_SHARD_JSON=path set, the run appends its metrics as one JSON
+// line to path — scripts/ci.sh points it at BENCH_shard.json so the
+// perf trajectory of the engine is recorded run over run.
 func BenchmarkParallelEngineSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
@@ -234,16 +248,80 @@ func BenchmarkParallelEngineSweep(b *testing.B) {
 		}
 		parSec := time.Since(t0).Seconds()
 
-		if seq != par || seq != uncached {
+		// The distributed protocol, in-process: each shard engine computes
+		// its half of every fan-out, the collector merges the artifacts and
+		// replays the sweep from the union cache.
+		shardSec := [2]float64{}
+		arts := make([]*flit.Artifact, 2)
+		for s := 0; s < 2; s++ {
+			t0 = time.Now()
+			eng := experiments.NewEngine(1)
+			eng.SetShard(exec.Shard{Index: s, Count: 2})
+			if _, err := eng.SweepDigest(); err != nil {
+				b.Fatal(err)
+			}
+			arts[s] = eng.ExportArtifact(nil)
+			shardSec[s] = time.Since(t0).Seconds()
+		}
+		t0 = time.Now()
+		mergedEng := experiments.NewEngine(1)
+		if err := mergedEng.ImportArtifacts(arts...); err != nil {
+			b.Fatal(err)
+		}
+		merged, err := mergedEng.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mergeSec := time.Since(t0).Seconds()
+		shardMax := math.Max(shardSec[0], shardSec[1])
+
+		if seq != par || seq != uncached || seq != merged {
 			b.Fatal("sweep digests differ across engine configurations")
 		}
 		b.ReportMetric(uncachedSec, "j1-uncached-sec")
 		b.ReportMetric(seqSec, "j1-cached-sec")
 		b.ReportMetric(parSec, "j4-cached-sec")
+		b.ReportMetric(shardMax, "shard2-max-sec")
+		b.ReportMetric(mergeSec, "shard2-merge-sec")
 		b.ReportMetric(uncachedSec/seqSec, "cache-speedup-x")
 		b.ReportMetric(seqSec/parSec, "j4-vs-j1-speedup-x")
 		b.ReportMetric(uncachedSec/parSec, "engine-vs-seed-speedup-x")
+		b.ReportMetric(seqSec/(shardMax+mergeSec), "shard2-vs-j1-speedup-x")
+
+		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+			rec := map[string]any{
+				"bench":                  "BenchmarkParallelEngineSweep",
+				"engine":                 flit.EngineVersion,
+				"unix":                   time.Now().Unix(),
+				"j1_uncached_sec":        uncachedSec,
+				"j1_cached_sec":          seqSec,
+				"j4_cached_sec":          parSec,
+				"shard2_max_sec":         shardMax,
+				"shard2_merge_sec":       mergeSec,
+				"cache_speedup_x":        uncachedSec / seqSec,
+				"j4_vs_j1_speedup_x":     seqSec / parSec,
+				"shard2_vs_j1_speedup_x": seqSec / (shardMax + mergeSec),
+			}
+			if err := appendJSONLine(path, rec); err != nil {
+				b.Fatalf("BENCH_SHARD_JSON: %v", err)
+			}
+		}
 	}
+}
+
+// appendJSONLine appends one JSON object per line (a perf-trajectory log:
+// append-only, diff-friendly, trivially parseable).
+func appendJSONLine(path string, rec map[string]any) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // BenchmarkMPIStudy regenerates the §3.6 study: determinism under simulated

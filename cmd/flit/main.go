@@ -10,6 +10,7 @@
 //	flit experiments [-j N] <table1|figure4|figure5|figure6|table2|table3|
 //	                  findings|motivation|table4|laghos-nan|table5|mpi|
 //	                  sweep|all>
+//	flit merge [-j N] shard0.json shard1.json ...
 //
 // "sweep" renders the sampled end-to-end digest of every subsystem on a
 // fresh engine — the determinism witness the equivalence tests compare
@@ -20,6 +21,20 @@
 // evaluations executed concurrently by the parallel engine (0, the
 // default, means one per CPU; 1 reproduces the paper's sequential order).
 // Results are bit-identical at every -j.
+//
+// Distributed runs: -shard i/N partitions the deterministic job index
+// space of a subcommand across N cooperating invocations (machines). A
+// shard executes only its slice of the expensive evaluations and writes a
+// self-describing JSON artifact (-shard-out) instead of the normal output.
+// `flit merge` validates that the artifacts form a complete shard set from
+// the same engine version and command, seeds a fresh engine's cache with
+// their union, and replays the recorded command — producing output
+// byte-identical to an unsharded run.
+//
+// Observability: -stats prints build/run-cache hit/miss/eviction counters
+// to stderr after the run; -cache-cap M bounds the memoized run results to
+// M entries with LRU eviction (0 = unbounded) so long-lived runs do not
+// grow memory without bound.
 package main
 
 import (
@@ -28,10 +43,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/flit"
 )
 
 func main() {
@@ -61,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdBisect(args[1:], stdout, stderr)
 	case "experiments":
 		err = cmdExperiments(args[1:], stdout, stderr)
+	case "merge":
+		err = cmdMerge(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -83,22 +103,46 @@ func usage(w io.Writer) {
   flit run [-j N] [-test ExampleNN]
   flit bisect [-j N] -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
   flit experiments [-j N] <name|all>
+  flit merge [-j N] shard0.json shard1.json ...
 
 experiment names: table1 figure4 figure5 figure6 table2 table3 findings
   motivation table4 laghos-nan table5 mpi, or "sweep" for the sampled
   end-to-end digest of every subsystem
 
 -j N runs up to N evaluations in parallel (0 = one per CPU, 1 = the
-paper's sequential order); output is bit-identical at every -j.`)
+paper's sequential order); output is bit-identical at every -j.
+
+-shard i/N executes one shard of the deterministic job index space and
+writes a JSON result artifact to -shard-out FILE instead of the normal
+output; "flit merge" reassembles a complete artifact set into output
+byte-identical to the unsharded run. -stats prints cache hit/miss/eviction
+counters to stderr; -cache-cap M bounds resident run results with LRU
+eviction (0 = unbounded).`)
+}
+
+// cliOpts carries the engine-shaping flags shared by every subcommand.
+type cliOpts struct {
+	j        *int
+	shardStr *string
+	shardOut *string
+	stats    *bool
+	cacheCap *int
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors back
-// to the caller instead of exiting the process, with the shared -j knob.
-func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *int) {
+// to the caller instead of exiting the process, with the shared engine
+// knobs (-j, -shard, -shard-out, -stats, -cache-cap).
+func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *cliOpts) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	j := fs.Int("j", 0, "parallel evaluations (0 = one per CPU, 1 = sequential)")
-	return fs, j
+	o := &cliOpts{
+		j:        fs.Int("j", 0, "parallel evaluations (0 = one per CPU, 1 = sequential)"),
+		shardStr: fs.String("shard", "", `execute one shard "i/N" of the job index space and write an artifact`),
+		shardOut: fs.String("shard-out", "", "artifact file a -shard run writes (required with -shard)"),
+		stats:    fs.Bool("stats", false, "print cache hit/miss/eviction counters to stderr"),
+		cacheCap: fs.Int("cache-cap", 0, "max resident memoized run results, LRU-evicted (0 = unbounded)"),
+	}
+	return fs, o
 }
 
 // parseFlags parses and maps failures to errParsed (the FlagSet has
@@ -115,20 +159,99 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 	}
 }
 
+// shardMode reports whether the user asked for a shard run at all —
+// including the degenerate but valid "0/1", which executes everything and
+// exports a single-artifact set that `flit merge` accepts as the N=1
+// partition.
+func (o *cliOpts) shardMode() bool { return *o.shardStr != "" }
+
+// engine builds the engine a subcommand runs on, honoring -j, -cache-cap,
+// and -shard.
+func (o *cliOpts) engine() (*experiments.Engine, error) {
+	shard, err := exec.ParseShard(*o.shardStr)
+	if err != nil {
+		return nil, err
+	}
+	if o.shardMode() {
+		if *o.shardOut == "" {
+			return nil, errors.New("-shard requires -shard-out FILE")
+		}
+		if *o.cacheCap > 0 {
+			// Eviction would silently drop results from the exported
+			// artifact; a shard's whole product is its complete cache.
+			return nil, errors.New("-cache-cap cannot be combined with -shard (evicted results would be missing from the artifact)")
+		}
+	}
+	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
+	eng.SetShard(shard)
+	return eng, nil
+}
+
+// execute runs a subcommand's renderer through the shard/stats plumbing.
+// Unsharded, the renderer writes its normal output to stdout. Sharded, the
+// rendering is discarded — a shard's product is the artifact holding every
+// build/run result it computed, written to -shard-out, with a one-line
+// receipt on stdout. command is the canonical replay command recorded in
+// the artifact for `flit merge`.
+func execute(eng *experiments.Engine, o *cliOpts, command []string,
+	render func(w io.Writer) error, stdout, stderr io.Writer) error {
+	out := stdout
+	if o.shardMode() {
+		out = io.Discard
+	}
+	err := render(out)
+	if *o.stats {
+		printStats(eng, stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if o.shardMode() {
+		art := eng.ExportArtifact(command)
+		if err := flit.WriteArtifactFile(art, *o.shardOut); err != nil {
+			return fmt.Errorf("writing shard artifact: %w", err)
+		}
+		fmt.Fprintf(stdout, "shard %s of %q: %d runs, %d costs -> %s\n",
+			eng.Shard(), strings.Join(command, " "), len(art.Runs), len(art.Costs), *o.shardOut)
+	}
+	return nil
+}
+
+func printStats(eng *experiments.Engine, w io.Writer) {
+	m := eng.CacheMetrics()
+	fmt.Fprintf(w, "cache runs:  hits=%d misses=%d evictions=%d entries=%d cap=%d\n",
+		m.Runs.Hits, m.Runs.Misses, m.Runs.Evictions, m.Runs.Entries, m.Runs.Capacity)
+	fmt.Fprintf(w, "cache costs: hits=%d misses=%d evictions=%d entries=%d cap=%d\n",
+		m.Costs.Hits, m.Costs.Misses, m.Costs.Evictions, m.Costs.Entries, m.Costs.Capacity)
+}
+
 func cmdRun(args []string, stdout, stderr io.Writer) error {
-	fs, j := newFlagSet("run", stderr)
+	fs, o := newFlagSet("run", stderr)
 	test := fs.String("test", "", "restrict output to one test (e.g. Example05)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	experiments.SetParallelism(*j)
-	res, err := experiments.MFEMResults()
+	eng, err := o.engine()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "%-12s %-46s %-10s %-12s %s\n", "test", "compilation", "speedup", "compare", "class")
+	command := []string{"run"}
+	if *test != "" {
+		command = append(command, "-test", *test)
+	}
+	return execute(eng, o, command, func(w io.Writer) error {
+		return renderRun(eng, *test, w)
+	}, stdout, stderr)
+}
+
+func renderRun(eng *experiments.Engine, test string, w io.Writer) error {
+	res, err := eng.Results()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %-46s %-10s %-12s %s\n", "test", "compilation", "speedup", "compare", "class")
 	for _, name := range res.TestNames() {
-		if *test != "" && name != *test {
+		if test != "" && name != test {
 			continue
 		}
 		for _, rr := range res.SortedBySpeed(name) {
@@ -136,7 +259,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 			if rr.Variable() {
 				class = "VARIABLE"
 			}
-			fmt.Fprintf(stdout, "%-12s %-46s %-10.3f %-12.3g %s\n",
+			fmt.Fprintf(w, "%-12s %-46s %-10.3f %-12.3g %s\n",
 				name, rr.Comp, res.Speedup(rr), rr.CompareVal, class)
 		}
 	}
@@ -156,7 +279,7 @@ func parseCompilation(s string) (comp.Compilation, error) {
 }
 
 func cmdBisect(args []string, stdout, stderr io.Writer) error {
-	fs, j := newFlagSet("bisect", stderr)
+	fs, o := newFlagSet("bisect", stderr)
 	test := fs.String("test", "", "test name (e.g. Example13)")
 	compStr := fs.String("comp", "", "variable compilation, e.g. 'g++ -O3 -mavx2 -mfma'")
 	k := fs.Int("k", 0, "find only the top-k contributors (0 = all, with verification)")
@@ -170,63 +293,164 @@ func cmdBisect(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	experiments.SetParallelism(*j)
-	wf := experiments.MFEMWorkflow()
-	tc := wf.TestByName(*test)
-	if tc == nil {
-		return fmt.Errorf("unknown test %q (Example01..Example19)", *test)
+	eng, err := o.engine()
+	if err != nil {
+		return err
 	}
-	report, err := wf.Bisect(tc, variable, *k)
+	// The canonical compilation string (variable.String round-trips through
+	// parseCompilation) keeps the recorded command whitespace-independent.
+	command := []string{"bisect", "-test", *test, "-comp", variable.String(), "-k", strconv.Itoa(*k)}
+	return execute(eng, o, command, func(w io.Writer) error {
+		return renderBisect(eng, *test, variable, *k, eng.Shard(), w)
+	}, stdout, stderr)
+}
+
+func renderBisect(eng *experiments.Engine, test string, variable comp.Compilation,
+	k int, shard exec.Shard, w io.Writer) error {
+	wf := eng.Workflow()
+	tc := wf.TestByName(test)
+	if tc == nil {
+		return fmt.Errorf("unknown test %q (Example01..Example19)", test)
+	}
+	report, err := wf.BisectSharded(tc, variable, k, shard)
 	if err != nil {
 		return err
 	}
 	if report.NoVariability {
-		fmt.Fprintln(stdout, "no variability attributable to compiled files",
+		fmt.Fprintln(w, "no variability attributable to compiled files",
 			"(it may come from the link step)")
 		return nil
 	}
-	fmt.Fprintf(stdout, "executions: %d\n", report.Execs)
+	fmt.Fprintf(w, "executions: %d\n", report.Execs)
 	for _, ff := range report.Files {
-		fmt.Fprintf(stdout, "file %-22s magnitude %-12.4g symbols: %s\n", ff.File, ff.Value, ff.Status)
+		fmt.Fprintf(w, "file %-22s magnitude %-12.4g symbols: %s\n", ff.File, ff.Value, ff.Status)
 		for _, sf := range ff.Symbols {
-			fmt.Fprintf(stdout, "    %-40s %.4g\n", sf.Item, sf.Value)
+			fmt.Fprintf(w, "    %-40s %.4g\n", sf.Item, sf.Value)
 		}
 	}
 	return nil
 }
 
 func cmdExperiments(args []string, stdout, stderr io.Writer) error {
-	fs, j := newFlagSet("experiments", stderr)
+	fs, o := newFlagSet("experiments", stderr)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	experiments.SetParallelism(*j)
+	eng, err := o.engine()
+	if err != nil {
+		return err
+	}
 	names := fs.Args()
 	if len(names) == 0 || names[0] == "all" {
 		names = []string{"table1", "figure4", "figure5", "figure6", "table3",
 			"findings", "motivation", "table4", "laghos-nan", "table2", "table5", "mpi"}
 	}
+	command := append([]string{"experiments"}, names...)
+	return execute(eng, o, command, func(w io.Writer) error {
+		return renderExperiments(eng, names, w)
+	}, stdout, stderr)
+}
+
+func renderExperiments(eng *experiments.Engine, names []string, w io.Writer) error {
 	for _, name := range names {
-		fmt.Fprintf(stdout, "=== %s ===\n", name)
-		if err := runExperiment(name, stdout); err != nil {
+		fmt.Fprintf(w, "=== %s ===\n", name)
+		if err := runExperiment(eng, name, w); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Fprintln(stdout)
+		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-func runExperiment(name string, w io.Writer) error {
+// cmdMerge reassembles a complete set of shard artifacts: it validates
+// that they share this build's engine version and one command and cover
+// every shard index, seeds a fresh engine's cache with their union, and
+// replays the recorded command — every expensive evaluation is a cache
+// hit, and the output is byte-identical to an unsharded run.
+func cmdMerge(args []string, stdout, stderr io.Writer) error {
+	fs, o := newFlagSet("merge", stderr)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *o.shardStr != "" || *o.shardOut != "" {
+		return errors.New("merge does not accept -shard/-shard-out (it replays a complete shard set)")
+	}
+	if *o.cacheCap > 0 {
+		// A capped cache would evict the imported results before the
+		// replay reads them, recomputing what the shards already shipped.
+		return errors.New("merge does not accept -cache-cap (imported shard results must stay resident for the replay)")
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return errors.New("merge requires at least one shard artifact file")
+	}
+	arts := make([]*flit.Artifact, len(paths))
+	for i, p := range paths {
+		a, err := flit.ReadArtifactFile(p)
+		if err != nil {
+			return err
+		}
+		arts[i] = a
+	}
+	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
+	if err := eng.ImportArtifacts(arts...); err != nil {
+		return err
+	}
+	err := replayCommand(eng, arts[0].Command, stdout)
+	if *o.stats {
+		printStats(eng, stderr)
+	}
+	return err
+}
+
+// replayCommand re-executes the canonical command recorded in a shard
+// artifact against a cache-seeded engine.
+func replayCommand(eng *experiments.Engine, command []string, stdout io.Writer) error {
+	if len(command) == 0 {
+		return errors.New("artifact records no command to replay")
+	}
+	rest := command[1:]
+	switch command[0] {
+	case "run":
+		fs := flag.NewFlagSet("merge/run", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		test := fs.String("test", "", "")
+		if err := fs.Parse(rest); err != nil {
+			return fmt.Errorf("replaying %q: %v", command, err)
+		}
+		return renderRun(eng, *test, stdout)
+	case "bisect":
+		fs := flag.NewFlagSet("merge/bisect", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		test := fs.String("test", "", "")
+		compStr := fs.String("comp", "", "")
+		k := fs.Int("k", 0, "")
+		if err := fs.Parse(rest); err != nil {
+			return fmt.Errorf("replaying %q: %v", command, err)
+		}
+		variable, err := parseCompilation(*compStr)
+		if err != nil {
+			return err
+		}
+		return renderBisect(eng, *test, variable, *k, exec.Shard{}, stdout)
+	case "experiments":
+		return renderExperiments(eng, rest, stdout)
+	default:
+		return fmt.Errorf("artifact records unknown command %q", command[0])
+	}
+}
+
+func runExperiment(eng *experiments.Engine, name string, w io.Writer) error {
 	switch name {
 	case "table1":
-		rows, err := experiments.Table1()
+		rows, err := eng.Table1()
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderTable1(rows))
 	case "figure4":
 		for _, ex := range []int{5, 9} {
-			s, err := experiments.Figure4(ex)
+			s, err := eng.Figure4(ex)
 			if err != nil {
 				return err
 			}
@@ -241,7 +465,7 @@ func runExperiment(name string, w io.Writer) error {
 			}
 		}
 	case "figure5":
-		rows, err := experiments.Figure5()
+		rows, err := eng.Figure5()
 		if err != nil {
 			return err
 		}
@@ -267,7 +491,7 @@ func runExperiment(name string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%d of 19 examples fastest with a bitwise-reproducible compilation (paper: 14)\n", repro)
 	case "figure6":
-		rows, err := experiments.Figure6()
+		rows, err := eng.Figure6()
 		if err != nil {
 			return err
 		}
@@ -281,7 +505,7 @@ func runExperiment(name string, w io.Writer) error {
 				r.Example, r.VariableComps, r.MinErr, r.MedianErr, r.MaxErr)
 		}
 	case "table2":
-		rows, total, err := experiments.Table2(0)
+		rows, total, err := eng.Table2(0)
 		if err != nil {
 			return err
 		}
@@ -293,7 +517,7 @@ func runExperiment(name string, w io.Writer) error {
 			fmt.Fprintf(w, "%-30s %-12.5g %.6g\n", r.Metric, r.Measured, r.Paper)
 		}
 	case "findings":
-		fs, err := experiments.Findings()
+		fs, err := eng.Findings()
 		if err != nil {
 			return err
 		}
@@ -314,13 +538,13 @@ func runExperiment(name string, w io.Writer) error {
 		fmt.Fprintf(w, "relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n",
 			100*mo.RelDiff, mo.SpeedupFactor)
 	case "table4":
-		rows, err := experiments.Table4()
+		rows, err := eng.Table4()
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderTable4(rows))
 	case "laghos-nan":
-		res, err := experiments.RunNaNBug()
+		res, err := eng.RunNaNBug()
 		if err != nil {
 			return err
 		}
@@ -329,25 +553,25 @@ func runExperiment(name string, w io.Writer) error {
 			fmt.Fprintf(w, "    %s\n", s)
 		}
 	case "table5":
-		sum, err := experiments.Table5(1)
+		sum, err := eng.Table5(1)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderTable5(sum))
 	case "table5-sample":
-		sum, err := experiments.Table5(13)
+		sum, err := eng.Table5(13)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderTable5(sum))
 	case "mpi":
-		rows, err := experiments.MPIStudy(4, 3)
+		rows, err := eng.MPIStudy(4, 3)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiments.RenderMPI(rows))
 	case "sweep":
-		digest, err := experiments.Sweep(experiments.Parallelism())
+		digest, err := eng.SweepDigest()
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -157,5 +160,155 @@ func TestBisectSubcommandEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out, "AddMult_a_AAt") {
 		t.Errorf("Finding 2 blame (AddMult_a_AAt) not reported:\n%s", out)
+	}
+}
+
+// TestMergeShardedExperimentsEquivalence drives the full distributed
+// protocol through the real CLI: two `experiments -shard i/2` invocations
+// writing artifacts, then `merge` replaying them — stdout must be
+// byte-identical to the unsharded invocation. table4 exercises the Laghos
+// bisect fan-out (cheap but non-trivial: 12 row configurations, shared
+// cached executions across comparison regimes).
+func TestMergeShardedExperimentsEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	var want, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-j", "2", "table4"}, &want, &stderr); code != 0 {
+		t.Fatalf("unsharded run: exit %d, stderr: %s", code, stderr.String())
+	}
+	paths := []string{filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json")}
+	for i, p := range paths {
+		var stdout bytes.Buffer
+		stderr.Reset()
+		code := run([]string{"experiments", "-j", "2",
+			"-shard", fmt.Sprintf("%d/2", i), "-shard-out", p, "table4"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("shard %d: exit %d, stderr: %s", i, code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "shard "+fmt.Sprintf("%d/2", i)) {
+			t.Errorf("shard %d printed no receipt: %q", i, stdout.String())
+		}
+		if strings.Contains(stdout.String(), "baseline") {
+			t.Errorf("shard %d leaked table output to stdout: %q", i, stdout.String())
+		}
+	}
+	var got bytes.Buffer
+	stderr.Reset()
+	if code := run(append([]string{"merge", "-stats"}, paths...), &got, &stderr); code != 0 {
+		t.Fatalf("merge: exit %d, stderr: %s", code, stderr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("merged output differs from unsharded run:\n--- merged ---\n%s\n--- unsharded ---\n%s",
+			got.String(), want.String())
+	}
+	// -stats reports the replay's cache behavior on stderr; a correct merge
+	// answers every run from the artifacts. Assert on the "cache runs:"
+	// line specifically — the costs line reads misses=0 even when run-key
+	// replay is broken.
+	runsLine := ""
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, "cache runs:") {
+			runsLine = line
+		}
+	}
+	if runsLine == "" || !strings.Contains(runsLine, "misses=0") {
+		t.Errorf("merge -stats run cache reports recomputation:\n%s", stderr.String())
+	}
+}
+
+// TestMergeRejectsBadShardSets: the CLI must refuse incomplete sets and
+// foreign engine versions with a non-zero exit.
+func TestMergeRejectsBadShardSets(t *testing.T) {
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "s0.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"experiments", "-shard", "0/2", "-shard-out", p0, "table4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("shard run failed: %s", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"merge", p0}, &stdout, &stderr); code != 1 {
+		t.Errorf("merging 1 of 2 shards: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+
+	// Corrupt the engine version and present a "complete" single-shard set.
+	raw, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := strings.Replace(string(raw), `"engine": "flit-engine/`, `"engine": "flit-engine/0-foreign`, 1)
+	if foreign == string(raw) {
+		t.Fatal("test could not rewrite the engine version")
+	}
+	foreign = strings.Replace(foreign, `"count": 2`, `"count": 1`, 1)
+	if !strings.Contains(foreign, `"count": 1`) {
+		t.Fatal("test could not rewrite the shard count")
+	}
+	pf := filepath.Join(dir, "foreign.json")
+	if err := os.WriteFile(pf, []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"merge", pf}, &stdout, &stderr); code != 1 {
+		t.Errorf("merging foreign engine version: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "engine") {
+		t.Errorf("rejection does not name the engine version: %s", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"merge"}, &stdout, &stderr); code != 1 {
+		t.Errorf("merge with no artifacts: exit %d, want 1", code)
+	}
+}
+
+// TestShardRequiresShardOut: a -shard run without -shard-out would compute
+// and then discard a shard's work; the CLI refuses up front.
+func TestShardRequiresShardOut(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-shard", "0/2"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-shard-out") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"run", "-shard", "2/2", "-shard-out", "x.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad shard index: exit %d, want 1", code)
+	}
+	// A capped cache would export an incomplete artifact; the combination
+	// is rejected up front.
+	stderr.Reset()
+	code := run([]string{"run", "-shard", "0/2", "-shard-out", "x.json", "-cache-cap", "10"}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "-cache-cap") {
+		t.Errorf("shard with cache-cap: exit %d, stderr %q", code, stderr.String())
+	}
+}
+
+// TestShardZeroOfOneExportsArtifact: "0/1" is the valid degenerate shard
+// set — it must write an artifact (not silently fall back to a plain run)
+// and merge back byte-identically.
+func TestShardZeroOfOneExportsArtifact(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "s.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-shard", "0/1", "-shard-out", p, "table3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("0/1 run wrote no artifact: %v", err)
+	}
+	if strings.Contains(stdout.String(), "=== table3 ===") {
+		t.Error("0/1 shard leaked normal output to stdout")
+	}
+	var want, got bytes.Buffer
+	if code := run([]string{"experiments", "table3"}, &want, &stderr); code != 0 {
+		t.Fatal(stderr.String())
+	}
+	if code := run([]string{"merge", p}, &got, &stderr); code != 0 {
+		t.Fatalf("merge of single artifact: exit %d, stderr: %s", code, stderr.String())
+	}
+	if got.String() != want.String() {
+		t.Error("merged 0/1 output differs from plain run")
 	}
 }

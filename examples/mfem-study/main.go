@@ -16,22 +16,26 @@ import (
 )
 
 func main() {
-	if err := run(os.Stdout); err != nil {
+	if err := run(os.Stdout, experiments.Default()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer) error {
+// run regenerates the study on one engine. Passing the engine explicitly
+// is what makes the study shardable: a sharded engine computes its slice
+// of the matrix, exports an artifact, and an artifact-seeded engine
+// replays the identical output (see TestMFEMStudyShardMergeEquivalence).
+func run(w io.Writer, eng *experiments.Engine) error {
 	fmt.Fprintf(w, "running 19 examples x 244 compilations (4,636 results) with %d parallel evaluations...\n",
-		experiments.Parallelism())
-	rows, err := experiments.Table1()
+		eng.Pool().Workers())
+	rows, err := eng.Table1()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\nTable 1 — compiler summary:")
 	fmt.Fprint(w, experiments.RenderTable1(rows))
 
-	fig5, err := experiments.Figure5()
+	fig5, err := eng.Figure5()
 	if err != nil {
 		return err
 	}
@@ -43,7 +47,7 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nFigure 5 — %d of 19 examples are fastest under a bitwise-reproducible compilation (paper: 14)\n", repro)
 
-	fig6, err := experiments.Figure6()
+	fig6, err := eng.Figure6()
 	if err != nil {
 		return err
 	}
@@ -51,7 +55,7 @@ func run(w io.Writer) error {
 		fig6[12].MaxErr)
 
 	// Finding 2: root-cause example 13 under an FMA-enabling compilation.
-	wf := experiments.MFEMWorkflow()
+	wf := eng.Workflow()
 	target := comp.Compilation{Compiler: comp.GCC, OptLevel: "-O3", Switches: "-mavx2 -mfma"}
 	fmt.Fprintf(w, "\nbisecting Example13 under %s ...\n", target)
 	report, err := wf.Bisect(wf.TestByName("Example13"), target, 0)

@@ -1,14 +1,22 @@
 // Quickstart: define a FLiT test case for your own numerical kernel, run it
 // under the full compilation matrix, and root-cause any variability with
 // Bisect — the paper's Figure 1 workflow end to end on a 30-line program.
+//
+// The quickstart also demonstrates the distributed workflow:
+//
+//	quickstart -shard 0/2 -shard-out s0.json   # machine 1
+//	quickstart -shard 1/2 -shard-out s1.json   # machine 2
+//	quickstart -merge s0.json,s1.json          # byte-identical to plain run
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/comp"
 	"repro/internal/core"
@@ -64,25 +72,90 @@ func (t *myTest) Compare(baseline, other flit.Result) float64 {
 }
 
 func main() {
-	if err := run(os.Stdout); err != nil {
+	shardStr := flag.String("shard", "", `run one shard "i/N" of the matrix and write an artifact`)
+	shardOut := flag.String("shard-out", "", "artifact file the -shard run writes")
+	merge := flag.String("merge", "", "comma-separated shard artifacts to merge and replay")
+	flag.Parse()
+	if err := cli(*shardStr, *shardOut, *merge, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// cli dispatches between a plain run, one shard of a distributed run, and
+// the merge replay — the same record/replay protocol `flit merge` uses.
+func cli(shardStr, shardOut, merge string, w io.Writer) error {
+	if merge != "" {
+		if shardStr != "" || shardOut != "" {
+			return fmt.Errorf("-merge cannot be combined with -shard/-shard-out")
+		}
+		cache := flit.NewCache()
+		var arts []*flit.Artifact
+		for _, path := range strings.Split(merge, ",") {
+			a, err := flit.ReadArtifactFile(path)
+			if err != nil {
+				return err
+			}
+			arts = append(arts, a)
+		}
+		if err := flit.ValidateShardSet(arts); err != nil {
+			return err
+		}
+		for _, a := range arts {
+			if err := cache.Import(a); err != nil {
+				return err
+			}
+		}
+		// Replay the full workflow: every matrix evaluation is answered
+		// from the merged cache, so the output is byte-identical to an
+		// unsharded run.
+		return runWith(w, exec.Shard{}, cache, 0)
+	}
+	shard, err := exec.ParseShard(shardStr)
+	if err != nil {
+		return err
+	}
+	// Any -shard request runs in artifact mode — including "0/1", the
+	// degenerate single-shard set `flit merge` accepts as the N=1
+	// partition.
+	if shardStr != "" {
+		if shardOut == "" {
+			return fmt.Errorf("-shard requires -shard-out FILE")
+		}
+		cache := flit.NewCache()
+		if err := runWith(io.Discard, shard, cache, 0); err != nil {
+			return err
+		}
+		art := cache.Export(shard, []string{"quickstart"})
+		if err := flit.WriteArtifactFile(art, shardOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "shard %s: %d runs, %d costs -> %s\n",
+			shard, len(art.Runs), len(art.Costs), shardOut)
+		return nil
+	}
+	return run(w)
+}
+
 func run(w io.Writer) error {
+	return runWith(w, exec.Shard{}, flit.NewCache(), 0)
+}
+
+func runWith(w io.Writer, shard exec.Shard, cache *flit.Cache, workers int) error {
 	p := program()
 	// Step 3: pick the execution substrate — a worker pool fanning out the
-	// matrix cells and a cache memoizing repeated build/run pairs. Both
-	// are optional; results are bit-identical at any worker count, and
-	// bisect searches launched through the workflow inherit them.
+	// matrix cells, a cache memoizing repeated build/run pairs, and
+	// (optionally) this process's shard of a distributed run. Results are
+	// bit-identical at any worker count, and bisect searches launched
+	// through the workflow inherit pool and cache.
 	wf := &core.Workflow{
 		Suite: &flit.Suite{
 			Prog:      p,
 			Tests:     []flit.TestCase{&myTest{p: p}},
 			Baseline:  comp.Baseline(),      // trusted: g++ -O0
 			Reference: comp.PerfReference(), // speedups vs g++ -O2
-			Pool:      exec.New(0),
-			Cache:     flit.NewCache(),
+			Pool:      exec.New(workers),
+			Cache:     cache,
+			Shard:     shard,
 		},
 		Matrix: comp.Matrix(), // all 244 compilations of the study
 	}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"io"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/exec"
 )
 
 // TestQuickstartSmoke runs the whole quickstart workflow — matrix analysis,
@@ -27,5 +31,38 @@ func TestQuickstartSmoke(t *testing.T) {
 	// must perturb it, and bisect must blame the kernel file.
 	if !strings.Contains(out, "bisecting") || !strings.Contains(out, "kernel.cpp") {
 		t.Errorf("bisect did not run or did not blame kernel.cpp:\n%s", out)
+	}
+}
+
+// TestQuickstartShardMergeEquivalence is the example-level acceptance
+// proof: for shard counts N in {1, 2, 3, 4, 8}, running the quickstart as
+// N shards through the real CLI path (artifact files on disk included)
+// and merging them reproduces the plain run byte for byte.
+func TestQuickstartShardMergeEquivalence(t *testing.T) {
+	var want strings.Builder
+	if err := run(&want); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		var paths []string
+		for i := 0; i < n; i++ {
+			// "0/1" included: the degenerate single-shard run exports the
+			// full artifact, and merging it alone must still replay exactly.
+			shard := exec.Shard{Index: i, Count: n}
+			p := filepath.Join(dir, strings.ReplaceAll(shard.String(), "/", "-")+".json")
+			if err := cli(shard.String(), p, "", io.Discard); err != nil {
+				t.Fatalf("N=%d shard %d: %v", n, i, err)
+			}
+			paths = append(paths, p)
+		}
+		var got strings.Builder
+		if err := cli("", "", strings.Join(paths, ","), &got); err != nil {
+			t.Fatalf("N=%d merge: %v", n, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("N=%d: merged output differs from plain run:\n--- merged ---\n%s\n--- plain ---\n%s",
+				n, got.String(), want.String())
+		}
 	}
 }

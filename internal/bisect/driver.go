@@ -110,6 +110,15 @@ type Search struct {
 	// execute once. Execution counts are unaffected: the paper's run
 	// accounting is per search, tracked by each Searcher's own memo.
 	Cache *flit.Cache
+	// Shard restricts the per-file symbol searches of a full (K <= 0) run
+	// to this shard's slice of the found-file index space; skipped files
+	// are reported with SymbolsSkipped. The adaptive File Bisect phase runs
+	// on every shard (its evaluations are the shared prefix every symbol
+	// search depends on), so a sharded report exists only to fill the Cache
+	// for artifact export — `flit merge` replays the full search against
+	// the merged cache. The zero value searches every file. Drivers that
+	// already shard at a coarser level (whole searches) leave this zero.
+	Shard exec.Shard
 }
 
 // runAll executes the search's test against an executable through the
@@ -201,6 +210,10 @@ func (s *Search) Run() (*Report, error) {
 	outs, _ := exec.Map(s.Pool, len(fileFindings), func(i int) (symOut, error) {
 		ff := fileFindings[i]
 		finding := FileFinding{File: ff.Item, Value: ff.Value}
+		if !s.Shard.Owns(i) {
+			finding.Status = SymbolsSkipped // another shard searches this file
+			return symOut{finding: finding}, nil
+		}
 		execs := s.searchSymbols(&finding, baseRes)
 		return symOut{finding: finding, execs: execs}, nil
 	})

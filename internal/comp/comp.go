@@ -64,12 +64,32 @@ func (c Compilation) String() string {
 	return s
 }
 
+// KeyEscape makes a string safe to embed as one field of a composite cache
+// key: the structural characters the key formats of this repository join
+// fields with ('|', '=', the NUL separator between executable and test key)
+// and the escape character itself are percent-encoded. Escaped fields can
+// be concatenated with those separators without two distinct field tuples
+// ever serializing to the same key — the injectivity the build/run cache
+// and the shard-artifact format depend on (and the key fuzz test enforces).
+func KeyEscape(s string) string {
+	if !strings.ContainsAny(s, "%|=\x00") {
+		return s
+	}
+	return keyEscaper.Replace(s)
+}
+
+var keyEscaper = strings.NewReplacer("%", "%25", "|", "%7C", "=", "%3D", "\x00", "%00")
+
 // Key is a canonical identity string usable as a map key; it includes the
-// injection plan so injected and clean compilations never collide.
+// injection plan so injected and clean compilations never collide. Every
+// field is KeyEscape'd, so distinct compilations always have distinct keys.
 func (c Compilation) Key() string {
-	k := c.String()
+	k := KeyEscape(c.Compiler) + "|" + KeyEscape(c.OptLevel) + "|" + KeyEscape(c.Switches)
+	if c.FPIC {
+		k += "|fpic"
+	}
 	if c.Inject != nil {
-		k += fmt.Sprintf(" [inject %s %s]", c.Inject.Symbol, c.Inject.Inj)
+		k += "|inject=" + KeyEscape(c.Inject.Symbol) + "|" + KeyEscape(fmt.Sprint(c.Inject.Inj))
 	}
 	return k
 }

@@ -40,7 +40,7 @@ func TestCompilationKeyIncludesInjection(t *testing.T) {
 	if c.Key() == ci.Key() {
 		t.Fatal("injected compilation key equals clean key")
 	}
-	if !strings.Contains(ci.Key(), "inject f") {
+	if !strings.Contains(ci.Key(), "inject=f") {
 		t.Fatalf("injection key missing symbol: %q", ci.Key())
 	}
 	if ci.Inject == nil || c.Inject != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bisect"
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/flit"
 )
 
@@ -90,7 +91,23 @@ func (a *Analysis) Recommendations() []Recommendation {
 // Bisect runs workflow Level 3: it root-causes the variability one test
 // exhibits under one compilation down to files and functions. k > 0 uses
 // BisectBiggest to find only the top-k contributors.
+//
+// The search is never sharded here, even when the suite is: callers that
+// shard at a coarser level (e.g. Table 2's fan-out over whole searches)
+// must not partition the inner search a second time, or some symbol
+// searches would be owned by no shard at all. The standalone `flit bisect
+// -shard` path, where the single search IS the job space, goes through
+// BisectSharded instead.
 func (w *Workflow) Bisect(test flit.TestCase, variable comp.Compilation, k int) (*bisect.Report, error) {
+	return w.BisectSharded(test, variable, k, exec.Shard{})
+}
+
+// BisectSharded is Bisect with the per-file symbol searches of a full
+// (k <= 0) run partitioned across shards — the distribution boundary for a
+// standalone search, where the found files are the deterministic job index
+// space. A sharded report exists only to fill the suite's cache for
+// artifact export; `flit merge` replays the complete search.
+func (w *Workflow) BisectSharded(test flit.TestCase, variable comp.Compilation, k int, shard exec.Shard) (*bisect.Report, error) {
 	s := &bisect.Search{
 		Prog:     w.Suite.Prog,
 		Test:     test,
@@ -99,6 +116,7 @@ func (w *Workflow) Bisect(test flit.TestCase, variable comp.Compilation, k int) 
 		K:        k,
 		Pool:     w.Suite.Pool,
 		Cache:    w.Suite.Cache,
+		Shard:    shard,
 	}
 	return s.Run()
 }

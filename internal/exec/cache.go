@@ -11,6 +11,14 @@ import (
 // caller observes the same value. Values must be treated as immutable by
 // all callers — they are shared, not copied.
 //
+// A cache may be size-capped (NewCacheCap), in which case completed entries
+// are evicted least-recently-used when the entry count exceeds the cap.
+// Eviction never breaks waiters — an evicted entry's value still reaches
+// every caller already blocked on it — and an evicted key simply recomputes
+// on next use, with fresh single-flight semantics. Because everything the
+// reproduction memoizes is a pure function of its key, eviction trades
+// recomputation for memory and cannot change any result.
+//
 // The reproduction uses it to memoize test runs keyed by build plan: the
 // simulated toolchain is deterministic, so a cache hit is bit-identical to
 // a re-run, and repeated evaluations during bisect hit the cache instead
@@ -18,21 +26,37 @@ import (
 // Errors are memoized too (a deterministic toolchain fails the same way
 // every time).
 type Cache[V any] struct {
-	mu     sync.Mutex
-	m      map[string]*cacheEntry[V]
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu sync.Mutex
+	m  map[string]*cacheEntry[V]
+	// cap is the maximum entry count; 0 means unbounded. In-flight entries
+	// are never evicted, so the count may transiently exceed cap while more
+	// than cap computations overlap; it is re-enforced as each completes.
+	cap        int
+	head, tail *cacheEntry[V] // recency list, head = most recently used
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
 }
 
 type cacheEntry[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	key        string
+	done       chan struct{}
+	val        V
+	err        error
+	completed  bool // guarded by Cache.mu
+	prev, next *cacheEntry[V]
 }
 
-// NewCache returns an empty cache.
-func NewCache[V any]() *Cache[V] {
-	return &Cache[V]{m: make(map[string]*cacheEntry[V])}
+// NewCache returns an empty, unbounded cache.
+func NewCache[V any]() *Cache[V] { return NewCacheCap[V](0) }
+
+// NewCacheCap returns an empty cache evicting least-recently-used completed
+// entries once it holds more than capacity keys. capacity <= 0 is unbounded.
+func NewCacheCap[V any](capacity int) *Cache[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache[V]{m: make(map[string]*cacheEntry[V]), cap: capacity}
 }
 
 // Do returns the memoized value for key, computing it with fn on first use.
@@ -44,21 +68,144 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
 	}
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
+		c.moveToFront(e)
 		c.mu.Unlock()
 		c.hits.Add(1)
 		<-e.done
 		return e.val, e.err
 	}
-	e := &cacheEntry[V]{done: make(chan struct{})}
+	e := &cacheEntry[V]{key: key, done: make(chan struct{})}
 	c.m[key] = e
+	c.pushFront(e)
 	c.mu.Unlock()
 	c.misses.Add(1)
-	defer close(e.done)
-	e.val, e.err = fn()
-	return e.val, e.err
+	// The done channel must close even if fn panics (a waiter blocked on
+	// <-e.done would otherwise deadlock forever). On panic the entry is
+	// dropped from the map so the key can be recomputed; waiters observe
+	// the zero value, as they did before eviction existed.
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		if completed {
+			e.completed = true
+			c.evictLocked()
+		} else if c.m[e.key] == e {
+			c.unlink(e)
+			delete(c.m, e.key)
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
+	val, err := fn()
+	e.val, e.err = val, err
+	completed = true
+	return val, err
 }
 
-// Len reports how many distinct keys have been computed or are in flight.
+// Seed installs a completed entry without running a computation — the
+// import path for shard artifacts. It reports whether the entry was
+// installed; an existing entry (computed, seeded, or in flight) is never
+// overwritten, so a seed can only agree with what a computation would have
+// produced. Seeding counts as neither a hit nor a miss.
+func (c *Cache[V]) Seed(key string, val V, err error) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return false
+	}
+	e := &cacheEntry[V]{key: key, done: make(chan struct{}), val: val, err: err, completed: true}
+	close(e.done)
+	c.m[key] = e
+	c.pushFront(e)
+	c.evictLocked()
+	return true
+}
+
+// Each snapshots every completed entry and calls fn for each, in unspecified
+// order (callers sort). In-flight computations are skipped — an artifact
+// export captures what has finished, which is everything once the owning
+// driver returns.
+func (c *Cache[V]) Each(fn func(key string, val V, err error)) {
+	if c == nil {
+		return
+	}
+	type snap struct {
+		key string
+		val V
+		err error
+	}
+	c.mu.Lock()
+	entries := make([]snap, 0, len(c.m))
+	for _, e := range c.m {
+		if e.completed {
+			entries = append(entries, snap{key: e.key, val: e.val, err: e.err})
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range entries {
+		fn(s.key, s.val, s.err)
+	}
+}
+
+// pushFront links a new entry at the head of the recency list (mu held).
+func (c *Cache[V]) pushFront(e *cacheEntry[V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFront marks an entry most recently used (mu held).
+func (c *Cache[V]) moveToFront(e *cacheEntry[V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// unlink removes an entry from the recency list (mu held).
+func (c *Cache[V]) unlink(e *cacheEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictLocked removes least-recently-used completed entries until the cache
+// fits its cap (mu held). In-flight entries are skipped: waiters hold their
+// entry pointer and single-flight must not be torn down mid-computation.
+func (c *Cache[V]) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for e := c.tail; e != nil && len(c.m) > c.cap; {
+		prev := e.prev
+		if e.completed {
+			c.unlink(e)
+			delete(c.m, e.key)
+			c.evictions.Add(1)
+		}
+		e = prev
+	}
+}
+
+// Len reports how many distinct keys are resident (computed, seeded, or in
+// flight).
 func (c *Cache[V]) Len() int {
 	if c == nil {
 		return 0
@@ -68,6 +215,14 @@ func (c *Cache[V]) Len() int {
 	return len(c.m)
 }
 
+// Capacity reports the eviction cap; 0 means unbounded.
+func (c *Cache[V]) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
 // Stats reports cache hits and misses, the observability hook the
 // equivalence tests use to prove memoization actually engages.
 func (c *Cache[V]) Stats() (hits, misses int64) {
@@ -75,4 +230,27 @@ func (c *Cache[V]) Stats() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Metrics is a point-in-time snapshot of a cache's counters.
+type Metrics struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int // 0 = unbounded
+}
+
+// Metrics snapshots the cache's counters and occupancy.
+func (c *Cache[V]) Metrics() Metrics {
+	if c == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.cap,
+	}
 }

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{in: "", want: Shard{}},
+		{in: "0/1", want: Shard{Index: 0, Count: 1}},
+		{in: "0/4", want: Shard{Index: 0, Count: 4}},
+		{in: "3/4", want: Shard{Index: 3, Count: 4}},
+		{in: "4/4", wantErr: true},
+		{in: "-1/4", wantErr: true},
+		{in: "0/0", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "a/b", wantErr: true},
+		{in: "1/2/3", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseShard(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseShard(%q) = %v, want error", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseShard(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestShardPartition: for every job index space, the shards of a count N
+// partition it — every index owned by exactly one shard, and Indices agrees
+// with Owns.
+func TestShardPartition(t *testing.T) {
+	const n = 97 // deliberately not a multiple of any tested count
+	for _, count := range []int{1, 2, 3, 4, 8} {
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = -1
+		}
+		for idx := 0; idx < count; idx++ {
+			s := Shard{Index: idx, Count: count}
+			for _, i := range s.Indices(n) {
+				if !s.Owns(i) {
+					t.Fatalf("shard %s: Indices yields %d but Owns(%d) is false", s, i, i)
+				}
+				if owners[i] != -1 {
+					t.Fatalf("index %d owned by shards %d and %d of %d", i, owners[i], idx, count)
+				}
+				owners[i] = idx
+			}
+		}
+		for i, o := range owners {
+			if o == -1 {
+				t.Errorf("index %d of %d owned by no shard of %d", i, n, count)
+			}
+		}
+	}
+}
+
+// TestShardZeroValueOwnsAll: the zero Shard is a valid unsharded run.
+func TestShardZeroValueOwnsAll(t *testing.T) {
+	var s Shard
+	if s.IsSharded() {
+		t.Error("zero shard reports sharded")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero shard invalid: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if !s.Owns(i) {
+			t.Errorf("zero shard does not own %d", i)
+		}
+	}
+	if got := len(s.Indices(5)); got != 5 {
+		t.Errorf("zero shard Indices(5) has %d entries", got)
+	}
+	if s.String() != "0/1" {
+		t.Errorf("zero shard String = %q", s.String())
+	}
+}
+
+func TestShardStringRoundTrip(t *testing.T) {
+	for _, s := range []Shard{{0, 2}, {1, 2}, {7, 8}} {
+		got, err := ParseShard(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v -> %q -> %v (%v)", s, s.String(), got, err)
+		}
+	}
+}

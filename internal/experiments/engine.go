@@ -23,6 +23,7 @@ import (
 type Engine struct {
 	pool  *exec.Pool
 	cache *flit.Cache
+	shard exec.Shard
 
 	mfemOnce sync.Once
 	mfemRes  *flit.Results
@@ -32,7 +33,16 @@ type Engine struct {
 // NewEngine returns an engine running up to parallelism evaluations at
 // once (<= 0 means one per CPU) with a fresh build/run cache.
 func NewEngine(parallelism int) *Engine {
-	return &Engine{pool: exec.New(parallelism), cache: flit.NewCache()}
+	return NewEngineCap(parallelism, 0)
+}
+
+// NewEngineCap is NewEngine with a size-capped build/run cache: at most
+// cacheCap memoized run results are resident, evicted least-recently-used
+// (<= 0 means unbounded). Eviction trades recomputation for memory and
+// never changes any output — every memoized value is a pure function of
+// its key.
+func NewEngineCap(parallelism, cacheCap int) *Engine {
+	return &Engine{pool: exec.New(parallelism), cache: flit.NewCacheCap(cacheCap)}
 }
 
 // NewEngineNoCache returns an engine without build/run memoization — the
@@ -48,6 +58,21 @@ func (e *Engine) Pool() *exec.Pool { return e.pool }
 // Cache returns the engine's build/run cache.
 func (e *Engine) Cache() *flit.Cache { return e.cache }
 
+// CacheMetrics snapshots the engine's cache counters — the numbers the
+// CLI's -stats flag prints.
+func (e *Engine) CacheMetrics() flit.CacheMetrics { return e.cache.Metrics() }
+
+// SetShard restricts every driver of this engine to one shard of the
+// deterministic job index space (matrix cells and baselines for the MFEM
+// suite, whole searches for Table 2, site × OP' injections for Table 5).
+// Call it before the first experiment runs — the memoized matrix results
+// are computed once per engine. A sharded engine's outputs are partial by
+// design; its purpose is to fill the cache for ExportArtifact.
+func (e *Engine) SetShard(s exec.Shard) { e.shard = s }
+
+// Shard reports the engine's shard assignment (zero = unsharded).
+func (e *Engine) Shard() exec.Shard { return e.shard }
+
 // Suite builds the paper's MFEM FLiT suite on this engine: 19 examples,
 // baseline g++ -O0, speedups against g++ -O2.
 func (e *Engine) Suite() *flit.Suite {
@@ -58,6 +83,7 @@ func (e *Engine) Suite() *flit.Suite {
 		Reference: comp.PerfReference(),
 		Pool:      e.pool,
 		Cache:     e.cache,
+		Shard:     e.shard,
 	}
 }
 

@@ -96,8 +96,11 @@ func (e *Engine) Table4() ([]Table4Row, error) {
 		{Compiler: comp.XLC, OptLevel: "-O3", Switches: "-qstrict=vectorprecision"},
 	}
 	allDigits := []int{2, 3, 5, 0}
-	n := len(baselines) * len(allDigits)
-	return exec.Map(e.pool, n, func(i int) (Table4Row, error) {
+	// A sharded engine evaluates only its slice of the 12 row
+	// configurations (partial rows, cache fills for artifact export).
+	owned := e.shard.Indices(len(baselines) * len(allDigits))
+	return exec.Map(e.pool, len(owned), func(k int) (Table4Row, error) {
+		i := owned[k]
 		base := baselines[i/len(allDigits)]
 		digits := allDigits[i%len(allDigits)]
 		row := Table4Row{Baseline: base, Digits: digits}

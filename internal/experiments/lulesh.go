@@ -24,6 +24,7 @@ func (e *Engine) LULESHStudy() *inject.Study {
 		Baseline: comp.Compilation{Compiler: comp.Clang, OptLevel: "-O2"},
 		Pool:     e.pool,
 		Cache:    e.cache,
+		Shard:    e.shard,
 	}
 }
 

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+)
+
+// Sharded execution of the experiments suite.
+//
+// A shard run partitions the deterministic job index space of every driver
+// — matrix baselines and cells, Table 2 searches, Table 4 row
+// configurations, injection site × OP' pairs — executes only the owned
+// jobs, and exports everything its build/run cache computed as a
+// self-describing JSON artifact (flit.Artifact, keyed by
+// link.Executable.Key + flit.TestKey). Merging seeds a fresh engine's
+// cache with the union of the shards' artifacts and replays the recorded
+// command: every evaluation is then answered from the cache, so the merge
+// is cheap, and because a cache hit is bit-identical to a recomputation,
+// the merged output is byte-identical to an unsharded run by construction.
+// Small sequential phases (the motivation example, the Findings narrative,
+// the adaptive File Bisect prefix of each search) run redundantly on every
+// shard — the shard boundary is the expensive fan-outs, exactly as the
+// paper's cluster sweeps partitioned compilations, not bookkeeping.
+
+// ExportArtifact snapshots everything this engine's cache has computed as
+// one shard artifact. command is the canonical CLI command the artifact
+// replays under `flit merge` (nil for library use).
+func (e *Engine) ExportArtifact(command []string) *flit.Artifact {
+	return e.cache.Export(e.shard, command)
+}
+
+// ImportArtifacts validates a shard set and seeds this engine's cache with
+// the union of the artifacts' results. Call it on a fresh engine before
+// running any experiment; replaying the artifacts' recorded command then
+// reproduces the unsharded output byte for byte.
+func (e *Engine) ImportArtifacts(arts ...*flit.Artifact) error {
+	if err := flit.ValidateShardSet(arts); err != nil {
+		return fmt.Errorf("experiments: merging shard artifacts: %w", err)
+	}
+	for _, a := range arts {
+		if err := e.cache.Import(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,8 +77,16 @@ func (e *Engine) Table2(limit int) ([]Table2Row, int, error) {
 		report *bisect.Report
 		err    error
 	}
-	outs, _ := exec.Map(e.pool, len(selected), func(i int) (searchOut, error) {
-		rr := selected[i]
+	// On a sharded engine the matrix Results already cover only the owned
+	// compilations, so `selected` is this shard's slice of the variable
+	// pairs — sharding it again here would leave searches owned by no
+	// shard. Every selected search runs; aggregates over a shard are
+	// partial by design and `flit merge` replays the full
+	// characterization. (The per-compiler limit caps each shard's local
+	// selection, a superset of the unsharded run's capped selection, so
+	// merged replays stay fully covered.)
+	outs, _ := exec.Map(e.pool, len(selected), func(k int) (searchOut, error) {
+		rr := selected[k]
 		// Each search runs sequentially inside: this Map is already the
 		// pooled fan-out level, so -j stays the true concurrency bound.
 		s := &bisect.Search{
@@ -91,8 +99,8 @@ func (e *Engine) Table2(limit int) ([]Table2Row, int, error) {
 		report, err := s.Run()
 		return searchOut{report: report, err: err}, nil
 	})
-	for i, out := range outs {
-		a := byCompiler[selected[i].Comp.Compiler]
+	for k, out := range outs {
+		a := byCompiler[selected[k].Comp.Compiler]
 		report, err := out.report, out.err
 		if report != nil {
 			a.execs += report.Execs

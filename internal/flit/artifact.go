@@ -1,0 +1,270 @@
+package flit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/link"
+)
+
+// ArtifactVersion is the serialization format version of shard artifacts.
+const ArtifactVersion = 1
+
+// EngineVersion identifies the evaluation semantics of this build: two
+// engines may exchange shard artifacts only if they would compute
+// bit-identical results for every key. Bump it whenever the simulated
+// toolchain, the cost model, or the cache key format changes meaning —
+// merge rejects artifacts from any other engine version, because replaying
+// foreign results as if they were local computations would silently violate
+// the byte-identity guarantee.
+const EngineVersion = "flit-engine/2"
+
+// Artifact is the self-describing result of one shard of a distributed
+// run: every build/run result and cost-model value the shard computed,
+// keyed by link.Executable.Key + TestKey (the build/run cache's own
+// address space), plus enough metadata — format version, engine version,
+// the canonical command, the shard coordinates — for `flit merge` to
+// validate that a set of artifacts belongs together and to replay the
+// original command with every expensive evaluation answered from the
+// merged cache.
+//
+// Floating-point values are serialized as IEEE-754 bit patterns, not
+// decimal JSON numbers: results may legitimately be NaN or ±Inf (the
+// Laghos NaN-bug study exists because of them), and byte-identity of the
+// merged output requires bit-identity of every replayed value.
+type Artifact struct {
+	Version int          `json:"version"`
+	Engine  string       `json:"engine"`
+	Command []string     `json:"command,omitempty"`
+	Shard   exec.Shard   `json:"shard"`
+	Runs    []RunRecord  `json:"runs"`
+	Costs   []CostRecord `json:"costs"`
+}
+
+// RunRecord is one memoized test execution.
+type RunRecord struct {
+	Key string `json:"key"`
+	// Vec holds the result vector as IEEE-754 bit patterns; IsVec
+	// distinguishes an empty vector from a scalar result.
+	Vec    []uint64 `json:"vec,omitempty"`
+	IsVec  bool     `json:"is_vec,omitempty"`
+	Scalar uint64   `json:"scalar,omitempty"`
+	// Err is the memoized run error's text; Segfault marks the ABI-crash
+	// identity (link.ErrSegfault) so errors.Is keeps working after replay.
+	Err      string `json:"err,omitempty"`
+	Segfault bool   `json:"segfault,omitempty"`
+}
+
+// CostRecord is one memoized cost-model value.
+type CostRecord struct {
+	Key  string `json:"key"`
+	Cost uint64 `json:"cost"` // IEEE-754 bit pattern
+}
+
+// replayedError stands in for a memoized run error restored from an
+// artifact: same text, and the same errors.Is identity for the one error
+// the drivers branch on (the mixed-binary segfault).
+type replayedError struct {
+	msg      string
+	segfault bool
+}
+
+func (e *replayedError) Error() string { return e.msg }
+
+func (e *replayedError) Is(target error) bool {
+	return e.segfault && target == link.ErrSegfault
+}
+
+// Export snapshots every completed entry of the cache into an artifact.
+// The records are sorted by key, so the same cache contents always
+// serialize to the same bytes.
+func (c *Cache) Export(shard exec.Shard, command []string) *Artifact {
+	a := &Artifact{
+		Version: ArtifactVersion,
+		Engine:  EngineVersion,
+		Command: command,
+		Shard:   shard,
+		Runs:    []RunRecord{},
+		Costs:   []CostRecord{},
+	}
+	if c == nil {
+		return a
+	}
+	c.runs.Each(func(key string, v runVal, _ error) {
+		r := RunRecord{Key: key}
+		if v.res.IsVec() {
+			r.IsVec = true
+			r.Vec = make([]uint64, len(v.res.Vec))
+			for i, x := range v.res.Vec {
+				r.Vec[i] = math.Float64bits(x)
+			}
+		} else {
+			r.Scalar = math.Float64bits(v.res.Scalar)
+		}
+		if v.err != nil {
+			r.Err = v.err.Error()
+			r.Segfault = errors.Is(v.err, link.ErrSegfault)
+		}
+		a.Runs = append(a.Runs, r)
+	})
+	c.costs.Each(func(key string, v float64, _ error) {
+		a.Costs = append(a.Costs, CostRecord{Key: key, Cost: math.Float64bits(v)})
+	})
+	sort.Slice(a.Runs, func(i, j int) bool { return a.Runs[i].Key < a.Runs[j].Key })
+	sort.Slice(a.Costs, func(i, j int) bool { return a.Costs[i].Key < a.Costs[j].Key })
+	return a
+}
+
+// Import seeds the cache with an artifact's records. Existing entries are
+// never overwritten — on a deterministic engine an artifact entry and a
+// local computation agree, so first-in wins is safe. It rejects artifacts
+// from a different format or engine version: foreign results replayed as
+// local ones would break the byte-identity guarantee silently.
+func (c *Cache) Import(a *Artifact) error {
+	if err := a.Check(); err != nil {
+		return err
+	}
+	if c == nil {
+		return errors.New("flit: importing into a nil cache")
+	}
+	for _, r := range a.Runs {
+		v := runVal{}
+		if r.IsVec {
+			v.res.Vec = make([]float64, len(r.Vec))
+			for i, bits := range r.Vec {
+				v.res.Vec[i] = math.Float64frombits(bits)
+			}
+		} else {
+			v.res.Scalar = math.Float64frombits(r.Scalar)
+		}
+		if r.Err != "" || r.Segfault {
+			if r.Segfault && r.Err == link.ErrSegfault.Error() {
+				v.err = link.ErrSegfault
+			} else {
+				v.err = &replayedError{msg: r.Err, segfault: r.Segfault}
+			}
+		}
+		c.runs.Seed(r.Key, v, nil)
+	}
+	for _, co := range a.Costs {
+		c.costs.Seed(co.Key, math.Float64frombits(co.Cost), nil)
+	}
+	return nil
+}
+
+// Check validates an artifact's format and engine versions.
+func (a *Artifact) Check() error {
+	if a.Version != ArtifactVersion {
+		return fmt.Errorf("flit: artifact format v%d, this build reads v%d", a.Version, ArtifactVersion)
+	}
+	if a.Engine != EngineVersion {
+		return fmt.Errorf("flit: artifact from engine %q, this build is %q: results are not interchangeable",
+			a.Engine, EngineVersion)
+	}
+	if err := a.Shard.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ValidateShardSet checks that a set of artifacts is mergeable: every
+// artifact passes Check, all record the same command, and the shard
+// coordinates form a complete partition — N artifacts covering indices
+// 0..N-1 of a count-N sharding (a single unsharded artifact is the N=1
+// case). Merging an incomplete or mixed set would replay a run that no
+// unsharded execution could have produced.
+func ValidateShardSet(arts []*Artifact) error {
+	if len(arts) == 0 {
+		return errors.New("flit: no shard artifacts to merge")
+	}
+	seen := make([]bool, len(arts))
+	for i, a := range arts {
+		if err := a.Check(); err != nil {
+			return fmt.Errorf("artifact %d: %w", i, err)
+		}
+		if !equalCommand(a.Command, arts[0].Command) {
+			return fmt.Errorf("artifact %d records command %q, artifact 0 records %q",
+				i, a.Command, arts[0].Command)
+		}
+		count := a.Shard.Count
+		if count < 1 {
+			count = 1
+		}
+		if count != len(arts) {
+			return fmt.Errorf("artifact %d is shard %s but %d artifacts were given",
+				i, a.Shard, len(arts))
+		}
+		if seen[a.Shard.Index] {
+			return fmt.Errorf("shard %s appears more than once", a.Shard)
+		}
+		seen[a.Shard.Index] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("shard %d/%d is missing", i, len(arts))
+		}
+	}
+	return nil
+}
+
+func equalCommand(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON serializes the artifact (indented, key-sorted, deterministic).
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(a)
+}
+
+// ReadArtifact parses one artifact from JSON.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("flit: reading artifact: %w", err)
+	}
+	return &a, nil
+}
+
+// WriteArtifactFile writes the artifact to path.
+func WriteArtifactFile(a *Artifact, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadArtifactFile reads one artifact from path.
+func ReadArtifactFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := ReadArtifact(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

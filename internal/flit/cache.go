@@ -1,6 +1,7 @@
 package flit
 
 import (
+	"repro/internal/comp"
 	"repro/internal/exec"
 	"repro/internal/link"
 )
@@ -31,6 +32,21 @@ func TestKey(t TestCase) string {
 	}
 }
 
+// RunKey is the canonical identity of one test execution: the executable's
+// build-plan key and the test's cache key, NUL-separated. The executable
+// key is escape-encoded and NUL-free and the test key is escaped here, so
+// no two distinct (program, build plan, test) tuples share a RunKey — the
+// injectivity the build/run cache and the shard-artifact merge depend on,
+// enforced by FuzzRunKeyInjective.
+func RunKey(ex *link.Executable, t TestCase) string {
+	return ex.Key() + "\x00" + comp.KeyEscape(TestKey(t))
+}
+
+// costKey addresses the memoized cost model per (executable, root symbol).
+func costKey(ex *link.Executable, root string) string {
+	return ex.Key() + "\x00" + comp.KeyEscape(root)
+}
+
 type runVal struct {
 	res Result
 	err error
@@ -42,14 +58,24 @@ type runVal struct {
 // step is cheap map construction and is not memoized.) Cached Results are
 // shared — callers must treat them as read-only, which every comparison in
 // the reproduction does. A nil *Cache is valid and simply runs everything.
+//
+// A capped cache (NewCacheCap) evicts least-recently-used run entries; the
+// toolchain is deterministic, so eviction trades recomputation for memory
+// and can never change a result.
 type Cache struct {
 	runs  *exec.Cache[runVal]
 	costs *exec.Cache[float64]
 }
 
-// NewCache returns an empty build/run cache.
-func NewCache() *Cache {
-	return &Cache{runs: exec.NewCache[runVal](), costs: exec.NewCache[float64]()}
+// NewCache returns an empty, unbounded build/run cache.
+func NewCache() *Cache { return NewCacheCap(0) }
+
+// NewCacheCap returns a build/run cache whose run store is capped at
+// capacity entries with LRU eviction (<= 0 means unbounded). Run results
+// carry whole mesh vectors and dominate the cache's memory; the cost store
+// holds one float64 per key and stays unbounded.
+func NewCacheCap(capacity int) *Cache {
+	return &Cache{runs: exec.NewCacheCap[runVal](capacity), costs: exec.NewCache[float64]()}
 }
 
 // RunAll is the memoizing form of the package-level RunAll: the first
@@ -61,7 +87,7 @@ func (c *Cache) RunAll(t TestCase, ex *link.Executable) (Result, error) {
 	if c == nil {
 		return RunAll(t, ex)
 	}
-	v, _ := c.runs.Do(ex.Key()+"\x00"+TestKey(t), func() (runVal, error) {
+	v, _ := c.runs.Do(RunKey(ex, t), func() (runVal, error) {
 		r, err := RunAll(t, ex)
 		return runVal{res: r, err: err}, nil
 	})
@@ -74,7 +100,7 @@ func (c *Cache) Cost(ex *link.Executable, root string) float64 {
 	if c == nil {
 		return ex.Cost(root)
 	}
-	v, _ := c.costs.Do(ex.Key()+"\x00"+root, func() (float64, error) {
+	v, _ := c.costs.Do(costKey(ex, root), func() (float64, error) {
 		return ex.Cost(root), nil
 	})
 	return v
@@ -86,4 +112,19 @@ func (c *Cache) Stats() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.runs.Stats()
+}
+
+// CacheMetrics snapshots both stores of a build/run cache.
+type CacheMetrics struct {
+	Runs  exec.Metrics
+	Costs exec.Metrics
+}
+
+// Metrics snapshots hit/miss/eviction counters and occupancy of both
+// stores — the observability surface behind the CLI's -stats flag.
+func (c *Cache) Metrics() CacheMetrics {
+	if c == nil {
+		return CacheMetrics{}
+	}
+	return CacheMetrics{Runs: c.runs.Metrics(), Costs: c.costs.Metrics()}
 }

@@ -1,0 +1,99 @@
+package flit
+
+import (
+	"testing"
+
+	"repro/internal/comp"
+	"repro/internal/link"
+	"repro/internal/prog"
+)
+
+// fuzzTest is a minimal TestCase whose identity is its name — the handle
+// the key fuzzer uses to vary the test component of a RunKey.
+type fuzzTest struct{ name string }
+
+func (t fuzzTest) Name() string                                 { return t.name }
+func (t fuzzTest) Root() string                                 { return "S" }
+func (t fuzzTest) GetInputsPerRun() int                         { return 1 }
+func (t fuzzTest) GetDefaultInput() []float64                   { return []float64{1} }
+func (t fuzzTest) Run([]float64, *link.Machine) (Result, error) { return Result{}, nil }
+func (t fuzzTest) Compare(baseline, other Result) float64       { return 0 }
+
+// fuzzRunKey builds the cache/artifact key for one (program, plan, test)
+// tuple assembled from free-form strings.
+func fuzzRunKey(t *testing.T, progName, compiler, opt, switches, test string) string {
+	t.Helper()
+	p := prog.New(progName)
+	p.AddFile("f.cpp", &prog.Symbol{Name: "S", Exported: true, Work: 1})
+	ex, err := link.FullBuild(p, comp.Compilation{Compiler: compiler, OptLevel: opt, Switches: switches})
+	if err != nil {
+		t.Fatalf("FullBuild(%q,%q,%q,%q): %v", progName, compiler, opt, switches, err)
+	}
+	return RunKey(ex, fuzzTest{name: test})
+}
+
+// FuzzRunKeyInjective is the shard/cache key safety net: no two distinct
+// (program, build plan, test) tuples may serialize to the same key.
+// Without the KeyEscape encoding, free-form names containing the key
+// format's structural characters ('|', '=', NUL) could collide — merged
+// shard artifacts would then silently answer one tuple's evaluation with
+// another tuple's result.
+func FuzzRunKeyInjective(f *testing.F) {
+	f.Add("quickstart", "g++", "-O2", "", "Quickstart",
+		"quickstart", "g++", "-O2", "-mavx2 -mfma", "Quickstart")
+	f.Add("p", "g++", "-O2", "", "T",
+		"p", "g++", "-O2", "", "T2")
+	// Structural-character abuse: without escaping, these families collide.
+	f.Add("p|base=g++|-O2|", "x", "-O0", "", "T",
+		"p", "g++", "-O2", "", "T")
+	f.Add("p", "g++ -O2", "-O0", "", "T",
+		"p", "g++", "-O2 -O0", "", "T")
+	f.Add("p", "g", "f:x", "y", "T",
+		"p", "g", "f:x|y", "", "T")
+	f.Add("p", "c", "-O1", "a", "T\x00U",
+		"p", "c", "-O1", "a\x00T", "U")
+	f.Add("p", "c%7C", "-O1", "", "T",
+		"p", "c|", "-O1", "", "T")
+	f.Fuzz(func(t *testing.T,
+		prog1, comp1, opt1, sw1, test1,
+		prog2, comp2, opt2, sw2, test2 string) {
+		same := prog1 == prog2 && comp1 == comp2 && opt1 == opt2 && sw1 == sw2 && test1 == test2
+		k1 := fuzzRunKey(t, prog1, comp1, opt1, sw1, test1)
+		k2 := fuzzRunKey(t, prog2, comp2, opt2, sw2, test2)
+		if same && k1 != k2 {
+			t.Fatalf("identical tuples produced different keys:\n%q\n%q", k1, k2)
+		}
+		if !same && k1 == k2 {
+			t.Fatalf("distinct tuples collided on key %q:\n(%q,%q,%q,%q,%q)\n(%q,%q,%q,%q,%q)",
+				k1, prog1, comp1, opt1, sw1, test1, prog2, comp2, opt2, sw2, test2)
+		}
+	})
+}
+
+// FuzzArtifactVersionCheck: an artifact is accepted exactly when both its
+// format version and engine version match this build — merge must reject
+// everything else, whatever the foreign version strings look like.
+func FuzzArtifactVersionCheck(f *testing.F) {
+	f.Add(EngineVersion, ArtifactVersion)
+	f.Add("flit-engine/1", ArtifactVersion)
+	f.Add("", ArtifactVersion)
+	f.Add(EngineVersion, 0)
+	f.Add(EngineVersion+" ", ArtifactVersion)
+	f.Fuzz(func(t *testing.T, engine string, version int) {
+		a := &Artifact{Version: version, Engine: engine}
+		err := a.Check()
+		wantOK := engine == EngineVersion && version == ArtifactVersion
+		if wantOK && err != nil {
+			t.Fatalf("matching versions rejected: %v", err)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("artifact with engine=%q version=%d accepted by a %q/v%d build",
+				engine, version, EngineVersion, ArtifactVersion)
+		}
+		if err != nil {
+			if merr := NewCache().Import(a); merr == nil {
+				t.Fatal("Import accepted an artifact Check rejects")
+			}
+		}
+	})
+}

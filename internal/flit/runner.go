@@ -28,6 +28,15 @@ type Suite struct {
 	// Cache memoizes build/run pairs across cells and across consumers
 	// (bisect searches, experiment drivers). nil disables memoization.
 	Cache *Cache
+	// Shard restricts the run to this shard's slice of the deterministic
+	// job index space: the matrix cells are partitioned by compilation
+	// index, while the baseline runs execute on every shard (cheap shared
+	// prefix state every owned cell compares against). A sharded run's
+	// Results cover just the owned cells — correctly classified, but
+	// partial; its purpose is to fill the Cache for artifact export, and
+	// `flit merge` replays the full run against the union of the shards'
+	// caches. The zero value runs everything.
+	Shard exec.Shard
 }
 
 // RunResult is one cell of the compilation matrix: one test under one
@@ -99,6 +108,12 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 		norm    float64
 		refTime float64
 	}
+	// The baselines are shared prefix state and run on every shard: all of
+	// a shard's cells compare against them, so skipping non-owned baselines
+	// would corrupt the Variable classification of sharded Results (and
+	// with it every consumer that selects work from them, e.g. Table 2's
+	// variable-pair selection). They are O(tests) against the O(tests ×
+	// compilations) cells the shard actually partitions.
 	bases, err := exec.Map(s.Pool, len(s.Tests), func(i int) (baseVal, error) {
 		t := s.Tests[i]
 		base, err := s.BaselineResult(t)
@@ -115,7 +130,9 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 		res.baseNorm[t.Name()] = bases[i].norm
 		res.refTime[t.Name()] = bases[i].refTime
 	}
-	cells, err := exec.Map(s.Pool, len(matrix), func(ci int) ([]RunResult, error) {
+	ownCells := s.Shard.Indices(len(matrix))
+	cells, err := exec.Map(s.Pool, len(ownCells), func(k int) ([]RunResult, error) {
+		ci := ownCells[k]
 		c := matrix[ci]
 		ex, err := link.FullBuild(s.Prog, c)
 		if err != nil {

@@ -117,6 +117,11 @@ type Study struct {
 	// Cache memoizes build/run pairs — above all the clean-baseline
 	// detection run, which every injection of the campaign repeats.
 	Cache *flit.Cache
+	// Shard restricts the campaign to this shard's slice of the site × OP'
+	// index space. A sharded Summary aggregates only the owned injections —
+	// it exists to fill the Cache for artifact export, and `flit merge`
+	// replays the full campaign. The zero value runs every injection.
+	Shard exec.Shard
 }
 
 // RunOne injects at a single site with a single OP' and scores the result.
@@ -258,8 +263,9 @@ func (s *Study) Run(sites []Site) Summary {
 		sites = EnumerateSites(s.Prog)
 	}
 	ops := fp.AllInjectOps
-	n := len(sites) * len(ops)
-	reps, _ := exec.Map(s.Pool, n, func(i int) (RunReport, error) {
+	owned := s.Shard.Indices(len(sites) * len(ops))
+	reps, _ := exec.Map(s.Pool, len(owned), func(k int) (RunReport, error) {
+		i := owned[k]
 		return s.RunOne(sites[i/len(ops)], ops[i%len(ops)]), nil
 	})
 	sum := Summary{Counts: make(map[Outcome]int)}

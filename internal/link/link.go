@@ -147,13 +147,18 @@ func (e *Executable) Key() string {
 	return e.key
 }
 
+// buildKey serializes the plan with every free-form component (program,
+// driver, file and symbol names) comp.KeyEscape'd and compilations rendered
+// through the equally escaped comp.Key, so no two distinct plans share a
+// key — the property the build/run cache and the shard-artifact merge rest
+// on, enforced by the flit key fuzz test.
 func (e *Executable) buildKey() string {
 	var b strings.Builder
-	b.WriteString(e.prog.Name)
+	b.WriteString(comp.KeyEscape(e.prog.Name))
 	b.WriteString("|base=")
 	b.WriteString(e.baseline.Key())
 	b.WriteString("|driver=")
-	b.WriteString(e.driver)
+	b.WriteString(comp.KeyEscape(e.driver))
 	if len(e.fileComp) > 0 {
 		files := make([]string, 0, len(e.fileComp))
 		for f := range e.fileComp {
@@ -162,7 +167,7 @@ func (e *Executable) buildKey() string {
 		sort.Strings(files)
 		for _, f := range files {
 			b.WriteString("|f:")
-			b.WriteString(f)
+			b.WriteString(comp.KeyEscape(f))
 			b.WriteString("=")
 			b.WriteString(e.fileComp[f].Key())
 		}
@@ -175,7 +180,7 @@ func (e *Executable) buildKey() string {
 		sort.Strings(syms)
 		for _, s := range syms {
 			b.WriteString("|s:")
-			b.WriteString(s)
+			b.WriteString(comp.KeyEscape(s))
 			b.WriteString("=")
 			b.WriteString(e.symComp[s].Key())
 		}

@@ -27,7 +27,20 @@ type Machine struct {
 	// accumulates across invocations — an injection at static instruction
 	// k of a function called many times fires on every pass through its
 	// body, exactly like a real static-instruction perturbation.
-	envs map[string]*fp.Env
+	//
+	// The key is a comparable struct, not a serialized string: Fn runs once
+	// per simulated function invocation, and building a key string there
+	// (the pre-sharding code used sym + "\x00" + c.Key()) dominated whole-
+	// study profiles. Within one machine every compilation resolves from
+	// the executable's own plan values, so struct equality — including the
+	// Inject plan's pointer identity — is exactly the sharing the dynamic
+	// instruction counters need.
+	envs map[envKey]*fp.Env
+}
+
+type envKey struct {
+	sym string
+	c   comp.Compilation
 }
 
 type frame struct {
@@ -41,7 +54,7 @@ func (e *Executable) NewMachine() (*Machine, error) {
 	if e.crash {
 		return nil, ErrSegfault
 	}
-	return &Machine{ex: e, envs: make(map[string]*fp.Env)}, nil
+	return &Machine{ex: e, envs: make(map[envKey]*fp.Env)}, nil
 }
 
 // Fn enters the named function: it resolves which compilation provides this
@@ -80,7 +93,7 @@ func (m *Machine) resolve(sym *prog.Symbol) comp.Compilation {
 // buildEnv returns the run-scoped fp.Env for one symbol under one
 // compilation, creating it on first entry.
 func (m *Machine) buildEnv(sym *prog.Symbol, c comp.Compilation) *fp.Env {
-	key := sym.Name + "\x00" + c.Key()
+	key := envKey{sym: sym.Name, c: c}
 	if env, ok := m.envs[key]; ok {
 		return env
 	}

@@ -8,6 +8,13 @@
 #                    through it) must be data-race-free at every -j
 #   bench smoke      one iteration of the cheap benchmarks, so the
 #                    benchmark harness itself cannot rot
+#   shard smoke      the distributed protocol end to end through real
+#                    binaries: quickstart as 2 shards + merge must be
+#                    byte-identical to the unsharded run
+#   bench shard      one iteration of BenchmarkParallelEngineSweep with
+#                    BENCH_SHARD_JSON set, appending this run's engine
+#                    timings (cache, fan-out, shard+merge) to
+#                    BENCH_shard.json — the recorded perf trajectory
 #
 # Run from the repository root: ./scripts/ci.sh
 set -eux
@@ -16,3 +23,17 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run NONE -bench 'BenchmarkTable3CodeStats|BenchmarkMotivation' -benchtime 1x .
+
+# Shard-equivalence smoke: two shards + merge == unsharded, byte for byte.
+SHARD_TMP=$(mktemp -d)
+trap 'rm -rf "$SHARD_TMP"' EXIT
+go build -o "$SHARD_TMP/quickstart" ./examples/quickstart
+"$SHARD_TMP/quickstart" >"$SHARD_TMP/unsharded.txt"
+"$SHARD_TMP/quickstart" -shard 0/2 -shard-out "$SHARD_TMP/s0.json"
+"$SHARD_TMP/quickstart" -shard 1/2 -shard-out "$SHARD_TMP/s1.json"
+"$SHARD_TMP/quickstart" -merge "$SHARD_TMP/s0.json,$SHARD_TMP/s1.json" >"$SHARD_TMP/merged.txt"
+diff "$SHARD_TMP/unsharded.txt" "$SHARD_TMP/merged.txt"
+
+# Record the engine's perf trajectory (appends one JSON line per run).
+BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
+	go test -run NONE -bench BenchmarkParallelEngineSweep -benchtime 1x .
