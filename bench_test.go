@@ -10,6 +10,7 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"sync"
@@ -301,6 +302,74 @@ func BenchmarkParallelEngineSweep(b *testing.B) {
 				"cache_speedup_x":        uncachedSec / seqSec,
 				"j4_vs_j1_speedup_x":     seqSec / parSec,
 				"shard2_vs_j1_speedup_x": seqSec / (shardMax + mergeSec),
+			}
+			if err := appendJSONLine(path, rec); err != nil {
+				b.Fatalf("BENCH_SHARD_JSON: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkSpeculativeBisect times the speculative bisect engine on the
+// paper's two single-search workloads — the Laghos NaN-bug rediscovery
+// (full BisectAll) and the Example13 hierarchical search behind Finding 2 —
+// at -j 1 (the paper's sequential probe order) and -j 8 (speculative
+// halving, singleton prefetch, parallel frontier expansion). The findings
+// and the paper execution counts are asserted identical; the metrics
+// record what speculation costs (spec-execs, the discarded background
+// probes) and buys (wall-clock — the j8-vs-j1 ratio needs multi-core
+// hardware to show a win; on one CPU it is ~1.0 by physics).
+//
+// With BENCH_SHARD_JSON=path set, the run appends bisect_j1_sec,
+// bisect_j8_sec, and bisect_spec_execs as one JSON line — scripts/ci.sh
+// points it at BENCH_shard.json next to the engine sweep's timings.
+func BenchmarkSpeculativeBisect(b *testing.B) {
+	variable := comp.Compilation{Compiler: comp.GCC, OptLevel: "-O3", Switches: "-mavx2 -mfma"}
+	for i := 0; i < b.N; i++ {
+		type out struct {
+			digest string
+			sec    float64
+			spec   int
+		}
+		runAt := func(j int) out {
+			eng := experiments.NewEngine(j)
+			t0 := time.Now()
+			nan, err := eng.RunNaNBug()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wf := eng.Workflow()
+			report, err := wf.Bisect(wf.TestByName("Example13"), variable, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sec := time.Since(t0).Seconds()
+			digest := fmt.Sprintf("nan execs=%d files=%v symbols=%v | ex13 execs=%d files=%v",
+				nan.Execs, nan.Files, nan.Symbols, report.Execs, report.Files)
+			return out{digest: digest, sec: sec, spec: nan.SpecExecs + report.SpecExecs}
+		}
+		j1 := runAt(1)
+		j8 := runAt(8)
+		if j1.digest != j8.digest {
+			b.Fatalf("speculative bisect diverged from sequential:\n-j 1: %s\n-j 8: %s",
+				j1.digest, j8.digest)
+		}
+		if j1.spec != 0 {
+			b.Fatalf("sequential run reported %d speculative executions", j1.spec)
+		}
+		b.ReportMetric(j1.sec, "bisect-j1-sec")
+		b.ReportMetric(j8.sec, "bisect-j8-sec")
+		b.ReportMetric(j1.sec/j8.sec, "bisect-j8-vs-j1-speedup-x")
+		b.ReportMetric(float64(j8.spec), "bisect-spec-execs")
+
+		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+			rec := map[string]any{
+				"bench":             "BenchmarkSpeculativeBisect",
+				"engine":            flit.EngineVersion,
+				"unix":              time.Now().Unix(),
+				"bisect_j1_sec":     j1.sec,
+				"bisect_j8_sec":     j8.sec,
+				"bisect_spec_execs": j8.spec,
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

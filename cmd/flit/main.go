@@ -32,9 +32,16 @@
 // byte-identical to an unsharded run.
 //
 // Observability: -stats prints build/run-cache hit/miss/eviction counters
-// to stderr after the run; -cache-cap M bounds the memoized run results to
-// M entries with LRU eviction (0 = unbounded) so long-lived runs do not
-// grow memory without bound.
+// and the bisect engine's execution counters (paper count vs speculative
+// extra) to stderr after the run; -cache-cap M bounds the memoized run
+// results to M entries with LRU eviction (0 = unbounded) so long-lived
+// runs do not grow memory without bound.
+//
+// Incremental runs: -warm-start a.json,b.json seeds the engine's cache
+// from previously exported shard artifacts before the run. Unlike merge,
+// no complete shard set is required — any artifacts from this engine
+// version will do; covered evaluations become cache hits, everything else
+// is recomputed, and the output is byte-identical to a cold run.
 package main
 
 import (
@@ -115,18 +122,20 @@ paper's sequential order); output is bit-identical at every -j.
 -shard i/N executes one shard of the deterministic job index space and
 writes a JSON result artifact to -shard-out FILE instead of the normal
 output; "flit merge" reassembles a complete artifact set into output
-byte-identical to the unsharded run. -stats prints cache hit/miss/eviction
-counters to stderr; -cache-cap M bounds resident run results with LRU
-eviction (0 = unbounded).`)
+byte-identical to the unsharded run. -warm-start a.json,b.json seeds the
+cache from prior artifacts (no complete set required) before running.
+-stats prints cache and bisect execution counters to stderr; -cache-cap M
+bounds resident run results with LRU eviction (0 = unbounded).`)
 }
 
 // cliOpts carries the engine-shaping flags shared by every subcommand.
 type cliOpts struct {
-	j        *int
-	shardStr *string
-	shardOut *string
-	stats    *bool
-	cacheCap *int
+	j         *int
+	shardStr  *string
+	shardOut  *string
+	stats     *bool
+	cacheCap  *int
+	warmStart *string
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors back
@@ -139,10 +148,44 @@ func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *cliOpts) {
 		j:        fs.Int("j", 0, "parallel evaluations (0 = one per CPU, 1 = sequential)"),
 		shardStr: fs.String("shard", "", `execute one shard "i/N" of the job index space and write an artifact`),
 		shardOut: fs.String("shard-out", "", "artifact file a -shard run writes (required with -shard)"),
-		stats:    fs.Bool("stats", false, "print cache hit/miss/eviction counters to stderr"),
+		stats:    fs.Bool("stats", false, "print cache and bisect execution counters to stderr"),
 		cacheCap: fs.Int("cache-cap", 0, "max resident memoized run results, LRU-evicted (0 = unbounded)"),
+		warmStart: fs.String("warm-start", "",
+			"comma-separated shard artifacts whose results seed the cache (no complete set required)"),
 	}
 	return fs, o
+}
+
+// readArtifacts loads a list of artifact files, skipping empty entries
+// (comma-split flag values may contain them).
+func readArtifacts(paths []string) ([]*flit.Artifact, error) {
+	arts := make([]*flit.Artifact, 0, len(paths))
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		a, err := flit.ReadArtifactFile(p)
+		if err != nil {
+			return nil, err
+		}
+		arts = append(arts, a)
+	}
+	return arts, nil
+}
+
+// loadWarmStart seeds an engine's cache from the -warm-start artifact
+// list. Unlike merge it tolerates any subset of artifacts — warm-starting
+// reuses results, it does not replay a command.
+func (o *cliOpts) loadWarmStart(eng *experiments.Engine) error {
+	if *o.warmStart == "" {
+		return nil
+	}
+	arts, err := readArtifacts(strings.Split(*o.warmStart, ","))
+	if err != nil {
+		return fmt.Errorf("-warm-start: %w", err)
+	}
+	return eng.WarmStart(arts...)
 }
 
 // parseFlags parses and maps failures to errParsed (the FlagSet has
@@ -184,6 +227,9 @@ func (o *cliOpts) engine() (*experiments.Engine, error) {
 	}
 	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
 	eng.SetShard(shard)
+	if err := o.loadWarmStart(eng); err != nil {
+		return nil, err
+	}
 	return eng, nil
 }
 
@@ -223,6 +269,12 @@ func printStats(eng *experiments.Engine, w io.Writer) {
 		m.Runs.Hits, m.Runs.Misses, m.Runs.Evictions, m.Runs.Entries, m.Runs.Capacity)
 	fmt.Fprintf(w, "cache costs: hits=%d misses=%d evictions=%d entries=%d cap=%d\n",
 		m.Costs.Hits, m.Costs.Misses, m.Costs.Evictions, m.Costs.Entries, m.Costs.Capacity)
+	// paper-execs is the Tables 2/4 cost measure and is identical at every
+	// -j; spec-execs is the speculative extra (timing-dependent) those
+	// searches spent to finish sooner.
+	bs := eng.BisectStats()
+	fmt.Fprintf(w, "bisect: searches=%d paper-execs=%d spec-execs=%d\n",
+		bs.Searches, bs.Execs, bs.SpecExecs)
 }
 
 func cmdRun(args []string, stdout, stderr io.Writer) error {
@@ -313,6 +365,7 @@ func renderBisect(eng *experiments.Engine, test string, variable comp.Compilatio
 		return fmt.Errorf("unknown test %q (Example01..Example19)", test)
 	}
 	report, err := wf.BisectSharded(tc, variable, k, shard)
+	eng.NoteBisect(report)
 	if err != nil {
 		return err
 	}
@@ -380,23 +433,23 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 		// replay reads them, recomputing what the shards already shipped.
 		return errors.New("merge does not accept -cache-cap (imported shard results must stay resident for the replay)")
 	}
-	paths := fs.Args()
-	if len(paths) == 0 {
-		return errors.New("merge requires at least one shard artifact file")
+	arts, err := readArtifacts(fs.Args())
+	if err != nil {
+		return err
 	}
-	arts := make([]*flit.Artifact, len(paths))
-	for i, p := range paths {
-		a, err := flit.ReadArtifactFile(p)
-		if err != nil {
-			return err
-		}
-		arts[i] = a
+	if len(arts) == 0 {
+		return errors.New("merge requires at least one shard artifact file")
 	}
 	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
 	if err := eng.ImportArtifacts(arts...); err != nil {
 		return err
 	}
-	err := replayCommand(eng, arts[0].Command, stdout)
+	// -warm-start composes with merge: extra artifacts (e.g. yesterday's
+	// campaign) seed additional cache entries on top of the shard set.
+	if err := o.loadWarmStart(eng); err != nil {
+		return err
+	}
+	err = replayCommand(eng, arts[0].Command, stdout)
 	if *o.stats {
 		printStats(eng, stderr)
 	}

@@ -312,3 +312,66 @@ func TestShardZeroOfOneExportsArtifact(t *testing.T) {
 		t.Error("merged 0/1 output differs from plain run")
 	}
 }
+
+// TestWarmStartSeedsEngineCache drives the -warm-start flag end to end: a
+// 0/1 shard artifact (the complete result set) warm-starts a fresh
+// invocation, which must answer every evaluation from the cache (stderr
+// misses=0) and print output byte-identical to a cold run.
+func TestWarmStartSeedsEngineCache(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "warm.json")
+	var want, stdout, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-j", "2", "table4"}, &want, &stderr); code != 0 {
+		t.Fatalf("cold run: exit %d, stderr: %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"experiments", "-shard", "0/1", "-shard-out", art, "table4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("artifact export: exit %d, stderr: %s", code, stderr.String())
+	}
+	var got bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"experiments", "-j", "2", "-warm-start", art, "-stats", "table4"}, &got, &stderr); code != 0 {
+		t.Fatalf("warm run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("warm-started output differs from cold run:\n--- warm ---\n%s\n--- cold ---\n%s",
+			got.String(), want.String())
+	}
+	runsLine := ""
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, "cache runs:") {
+			runsLine = line
+		}
+	}
+	if runsLine == "" || !strings.Contains(runsLine, "misses=0") {
+		t.Errorf("warm-started run recomputed evaluations:\n%s", stderr.String())
+	}
+
+	// A missing artifact fails up front with a diagnostic naming the flag.
+	stderr.Reset()
+	if code := run([]string{"experiments", "-warm-start", filepath.Join(dir, "nope.json"), "table3"},
+		&stdout, &stderr); code != 1 {
+		t.Fatalf("missing warm-start artifact: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "warm-start") {
+		t.Errorf("stderr does not name -warm-start: %s", stderr.String())
+	}
+}
+
+// TestBisectStatsOnStderr: -stats surfaces the two bisect counters — the
+// paper's deterministic execution count and the speculative extra — after
+// a bisect subcommand.
+func TestBisectStatsOnStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"bisect", "-j", "4", "-stats", "-test", "Example13",
+		"-comp", "g++ -O3 -mavx2 -mfma"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "bisect: searches=1 paper-execs=") {
+		t.Errorf("-stats missing bisect counters: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "spec-execs=") {
+		t.Errorf("-stats missing speculative counter: %s", stderr.String())
+	}
+}

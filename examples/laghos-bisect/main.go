@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -17,6 +18,11 @@ import (
 )
 
 func main() {
+	j := flag.Int("j", 0, "parallel evaluations (0 = one per CPU, 1 = sequential; "+
+		"output is byte-identical at every -j — the speculative bisect engine "+
+		"commits only what the sequential algorithm would have chosen)")
+	flag.Parse()
+	experiments.SetParallelism(*j)
 	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -10,16 +10,28 @@
 // memoized — the paper's run counts assume the same linkage combination is
 // never re-executed — and counted, since the number of program executions is
 // the efficiency measure of the evaluation (Tables 2 and 4).
+//
+// The halving steps of Algorithm 1 are strictly sequential: every probe
+// depends on the previous probe's outcome. A Searcher built with a
+// speculative Submitter therefore races the probes either outcome would
+// need next in the background and commits only the result the sequential
+// algorithm would have chosen; losers stay behind as uncounted memo
+// entries. Execs() keeps the paper's sequential-trace accounting — it is
+// identical at every parallelism — while SpecExecs() reports the extra
+// speculative executions wall-clock was traded for.
 package bisect
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
+
+	"repro/internal/exec"
 )
 
 // TestFn quantifies the variability observed when exactly the given items
-// are taken from the variable compilation. It must be deterministic.
+// are taken from the variable compilation. It must be deterministic, and
+// safe for concurrent use when the Searcher speculates.
 type TestFn func(items []string) (float64, error)
 
 // Finding is one variability-inducing item with the magnitude it causes by
@@ -44,30 +56,155 @@ func (e *AssumptionError) Error() string {
 	return fmt.Sprintf("bisect: assumption violated: %s (items %v)", e.Msg, e.Items)
 }
 
-// Searcher wraps a TestFn with memoization and execution counting.
+// Searcher wraps a TestFn with memoization, execution counting, and —
+// when built with a Submitter — speculative background evaluation. One
+// goroutine drives a Searcher (calls Test/All/Biggest); the speculative
+// evaluations it spawns run concurrently with that driving goroutine.
 type Searcher struct {
-	fn    TestFn
-	memo  map[string]float64
-	execs int
+	fn  TestFn
+	sub *exec.Submitter
+
+	// ids assigns each item a stable integer on first sight; memo keys are
+	// built from id sequences. Touched only by the driving goroutine.
+	ids map[string]int
+
+	mu        sync.Mutex
+	memo      map[string]*memoEntry
+	inflight  map[string]*exec.Future[struct{}]
+	futures   []*exec.Future[struct{}]
+	execs     int // the paper's counter: what the sequential trace ran
+	realExecs int // actual TestFn invocations, committed + speculative
 }
 
-// NewSearcher creates a Searcher for one bisect search. Execution counts
+// memoEntry is one known Test value. counted marks entries the committed
+// trace has reached: a speculative result is charged to the paper counter
+// only at the moment the sequential algorithm would have executed it.
+type memoEntry struct {
+	val     float64
+	counted bool
+}
+
+// NewSearcher creates a sequential Searcher for one bisect search —
+// the paper's original one-probe-at-a-time order. Execution counts
 // accumulate across All/Biggest calls on the same Searcher.
-func NewSearcher(fn TestFn) *Searcher {
-	return &Searcher{fn: fn, memo: make(map[string]float64)}
+func NewSearcher(fn TestFn) *Searcher { return NewSpeculativeSearcher(fn, nil) }
+
+// NewSpeculativeSearcher creates a Searcher that additionally races
+// probable future probes through sub while the committed probe runs
+// inline. A nil submitter (e.g. from a sequential pool) disables
+// speculation, making it identical to NewSearcher. Findings and Execs()
+// are bit-identical either way; only wall-clock and SpecExecs() differ.
+func NewSpeculativeSearcher(fn TestFn, sub *exec.Submitter) *Searcher {
+	if sub.Cap() < 1 {
+		sub = nil
+	}
+	return &Searcher{
+		fn:       fn,
+		sub:      sub,
+		ids:      make(map[string]int),
+		memo:     make(map[string]*memoEntry),
+		inflight: make(map[string]*exec.Future[struct{}]),
+	}
 }
 
-// Execs returns how many distinct Test executions have run (memoized
-// repeats are free, as in the paper's run accounting).
-func (s *Searcher) Execs() int { return s.execs }
+// Execs returns how many distinct Test executions the committed sequential
+// trace has performed (memoized repeats are free, as in the paper's run
+// accounting). Speculative evaluations are excluded until — unless — the
+// trace actually reaches them, so the count equals a sequential run's
+// exactly, at every parallelism.
+func (s *Searcher) Execs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execs
+}
 
-// Test evaluates the metric on a set of items, memoized.
+// SpecExecs returns the extra speculative executions performed beyond
+// Execs: background probes whose result the committed trace never claimed.
+// It is 0 without speculation and timing-dependent with it — wall-clock is
+// what those executions bought.
+func (s *Searcher) SpecExecs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d := s.realExecs - s.execs; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// key returns the canonical memo key of an item set. The subsets the
+// search manipulates (halves, subtractions) all preserve the relative
+// order items had when first seen, so the cached per-item ids come out
+// ascending and the key builds in O(n) — no per-probe re-sort. A
+// caller-provided permutation falls back to sorting the ids, which keeps
+// the key order-independent: {a,b} and {b,a} share one memo entry.
+func (s *Searcher) key(items []string) string {
+	ids := make([]int, len(items))
+	ascending := true
+	for i, it := range items {
+		id, ok := s.ids[it]
+		if !ok {
+			id = len(s.ids)
+			s.ids[it] = id
+		}
+		ids[i] = id
+		if i > 0 && ids[i-1] >= id {
+			ascending = false
+		}
+	}
+	if !ascending {
+		sort.Ints(ids)
+	}
+	b := make([]byte, 0, 4*len(ids))
+	for _, id := range ids {
+		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return string(b)
+}
+
+// Test evaluates the metric on a set of items, memoized. This is the
+// committed path: it claims in-flight speculative results, and its
+// accounting replicates the sequential algorithm's exactly — the first
+// committed visit of a set costs one execution (even if a background probe
+// already computed it), repeats are free, and a crashed attempt still
+// counts as a program execution without being memoized.
 func (s *Searcher) Test(items []string) (float64, error) {
-	key := canonical(items)
-	if v, ok := s.memo[key]; ok {
+	key := s.key(items)
+	s.mu.Lock()
+	if e, ok := s.memo[key]; ok {
+		v := s.claim(e)
+		s.mu.Unlock()
 		return v, nil
 	}
+	fut := s.inflight[key]
+	s.mu.Unlock()
+
+	if fut != nil {
+		if fut.Cancel() {
+			// Still queued: evaluating inline beats waiting behind the
+			// speculation backlog.
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+		} else {
+			fut.Wait()
+			s.mu.Lock()
+			if e, ok := s.memo[key]; ok {
+				v := s.claim(e)
+				s.mu.Unlock()
+				return v, nil
+			}
+			s.mu.Unlock()
+			// The speculative run failed (errors are not memoized, exactly
+			// like the sequential path): fall through and re-run inline so
+			// the committed trace observes the error with sequential
+			// accounting.
+		}
+	}
+
+	s.mu.Lock()
 	s.execs++ // a crashed attempt still counts as a program execution
+	s.realExecs++
+	s.mu.Unlock()
 	v, err := s.fn(items)
 	if err != nil {
 		return 0, err
@@ -75,15 +212,84 @@ func (s *Searcher) Test(items []string) (float64, error) {
 	if v < 0 {
 		return 0, fmt.Errorf("bisect: Test returned negative value %g for %v", v, items)
 	}
-	s.memo[key] = v
+	s.mu.Lock()
+	s.memo[key] = &memoEntry{val: v, counted: true}
+	s.mu.Unlock()
 	return v, nil
 }
 
-func canonical(items []string) string {
-	cp := append([]string(nil), items...)
-	sort.Strings(cp)
-	return strings.Join(cp, "\x00")
+// claim charges an entry to the paper counter on the committed trace's
+// first visit. Callers hold s.mu.
+func (s *Searcher) claim(e *memoEntry) float64 {
+	if !e.counted {
+		e.counted = true
+		s.execs++
+	}
+	return e.val
 }
+
+// speculate submits Test(items) for background evaluation when speculation
+// is enabled and the set is neither memoized nor already in flight. The
+// result lands in the memo uncounted; it joins the paper's accounting only
+// if the committed trace reaches the set.
+func (s *Searcher) speculate(items []string) {
+	if s.sub == nil || len(items) == 0 {
+		return
+	}
+	key := s.key(items)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.memo[key]; ok {
+		return
+	}
+	if _, ok := s.inflight[key]; ok {
+		return
+	}
+	cp := append([]string(nil), items...) // halves alias the caller's slice
+	fut := exec.Submit(s.sub, func() (struct{}, error) {
+		v, err := s.fn(cp)
+		s.mu.Lock()
+		s.realExecs++
+		if err == nil && v >= 0 {
+			if _, ok := s.memo[key]; !ok {
+				s.memo[key] = &memoEntry{val: v}
+			}
+		}
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		return struct{}{}, nil
+	})
+	s.inflight[key] = fut
+	s.futures = append(s.futures, fut)
+}
+
+// drain cancels queued speculation and waits out whatever already started,
+// so no background evaluation outlives the search that spawned it and the
+// counters are stable when All/Biggest return.
+func (s *Searcher) drain() {
+	if s.sub == nil {
+		return
+	}
+	s.mu.Lock()
+	for key, f := range s.inflight {
+		if f.Cancel() {
+			delete(s.inflight, key)
+		}
+	}
+	futs := s.futures
+	s.futures = nil
+	s.mu.Unlock()
+	for _, f := range futs {
+		f.Wait()
+	}
+}
+
+// singletonPrefetchWidth bounds the singleton prefetch: once BisectOne has
+// narrowed to this many items, the singleton tests its base case — and the
+// "sorted by most influential" pass after it — will need are enqueued
+// speculatively. Small on purpose: each prefetch past the blamed item is a
+// wasted execution.
+const singletonPrefetchWidth = 4
 
 // All is procedure BisectAll of Algorithm 1: it finds every
 // variability-inducing item, verifying the search assumptions dynamically.
@@ -91,9 +297,15 @@ func canonical(items []string) string {
 // paper's "sorted by the most influential" ordering. The singleton values
 // are free: BisectOne's base case already executed them.
 func (s *Searcher) All(items []string) ([]Finding, error) {
+	defer s.drain()
 	var found []Finding
 	t := append([]string(nil), items...)
 	for {
+		if len(t) > 1 {
+			// BisectOne's first committed probe will be the left half;
+			// race it against Test(t) itself.
+			s.speculate(t[:len(t)/2])
+		}
 		v, err := s.Test(t)
 		if err != nil {
 			return found, err
@@ -160,6 +372,29 @@ func (s *Searcher) one(items []string) (exclude []string, next string, err error
 		return []string{items[0]}, items[0], nil
 	}
 	d1, d2 := items[:len(items)/2], items[len(items)/2:]
+	if s.sub != nil {
+		// Speculative halving: while the committed probe Test(∆1) runs
+		// inline, the probes either branch would need next are raced in
+		// the background — the right half itself (it is the base case when
+		// it narrows to a singleton) and the left halves of both branches,
+		// BisectOne's next committed probe whichever way Test(∆1) decides.
+		// Unused results stay behind as uncounted memo entries.
+		s.speculate(d2)
+		if len(d1) > 1 {
+			s.speculate(d1[:len(d1)/2])
+		}
+		if len(d2) > 1 {
+			s.speculate(d2[:len(d2)/2])
+		}
+		if len(items) <= singletonPrefetchWidth {
+			// Singleton prefetch: the recursion is about to bottom out;
+			// whichever of these the base case lands on is already warm,
+			// and its value doubles as the finding's reported magnitude.
+			for i := range items {
+				s.speculate(items[i : i+1])
+			}
+		}
+	}
 	v, err := s.Test(d1)
 	if err != nil {
 		return nil, "", err

@@ -66,8 +66,16 @@ type FileFinding struct {
 type Report struct {
 	Files []FileFinding
 	// Execs is the total number of program executions, the paper's cost
-	// measure (file search + fPIC probes + symbol searches).
+	// measure (file search + fPIC probes + symbol searches). It is the
+	// committed sequential trace's count and is identical at every
+	// parallelism — speculation never leaks into it.
 	Execs int
+	// SpecExecs is the extra speculative executions performed beyond
+	// Execs when the search ran with a pooled, speculating engine. They
+	// bought wall-clock, not coverage: the value is timing-dependent,
+	// excluded from every paper statistic, and surfaced only through
+	// diagnostics (the CLI's -stats).
+	SpecExecs int
 	// NoVariability is set when Test over all files is already 0: the
 	// deviation seen in the matrix is not attributable to compiled code
 	// (e.g. it was introduced by the link step, Figure 5 caption).
@@ -99,11 +107,15 @@ type Search struct {
 	Variable comp.Compilation
 	K        int
 	// Pool fans out the independent per-file symbol searches of a full
-	// (K <= 0) run; nil searches sequentially. The report is bit-identical
-	// either way: each file's search is self-contained and findings are
-	// collected in file order. BisectBiggest (K > 0) always runs its
-	// symbol phase sequentially — its cross-file early exit depends on the
-	// symbols found so far.
+	// (K <= 0) run, and its Submitter drives speculative evaluation inside
+	// every phase — the sequential File Bisect prefix, where the pool
+	// would otherwise sit idle, included; nil searches sequentially. The
+	// report is bit-identical either way: each file's search is
+	// self-contained, findings are collected in file order, and the
+	// committed probe sequence (hence Execs) never depends on speculation.
+	// BisectBiggest (K > 0) runs its cross-file phase sequentially — the
+	// early exit depends on the symbols found so far — but each file's
+	// search still speculates internally.
 	Pool *exec.Pool
 	// Cache memoizes test runs by build plan, so evaluations repeated
 	// across bisect steps and across searches (the baseline run above all)
@@ -142,8 +154,13 @@ func (s *Search) Run() (*Report, error) {
 		return nil, fmt.Errorf("bisect: baseline execution failed: %w", err)
 	}
 
+	// One speculative admission gate for the whole search: the File Bisect
+	// prefix and every per-file symbol search share it, so the committed
+	// fan-out (bounded by the pool) plus speculation (bounded by the
+	// submitter, Workers-1) never exceeds twice the configured -j.
+	sub := s.Pool.Submitter()
 	report := &Report{}
-	fileSearch := NewSearcher(func(files []string) (float64, error) {
+	fileSearch := NewSpeculativeSearcher(func(files []string) (float64, error) {
 		ex, err := link.FileMixBuild(s.Prog, s.Baseline, s.Variable, files)
 		if err != nil {
 			return 0, err
@@ -153,7 +170,7 @@ func (s *Search) Run() (*Report, error) {
 			return 0, err
 		}
 		return s.Test.Compare(baseRes, got), nil
-	})
+	}, sub)
 
 	var fileFindings []Finding
 	if s.K > 0 {
@@ -162,6 +179,7 @@ func (s *Search) Run() (*Report, error) {
 		fileFindings, err = fileSearch.All(s.Prog.FileNames())
 	}
 	report.Execs += fileSearch.Execs()
+	report.SpecExecs += fileSearch.SpecExecs()
 	if err != nil {
 		return report, err
 	}
@@ -192,7 +210,9 @@ func (s *Search) Run() (*Report, error) {
 				report.Files = append(report.Files, finding)
 				continue
 			}
-			report.Execs += s.searchSymbols(&finding, baseRes)
+			execs, spec := s.searchSymbols(&finding, baseRes, sub)
+			report.Execs += execs
+			report.SpecExecs += spec
 			report.Files = append(report.Files, finding)
 		}
 		return report, nil
@@ -206,6 +226,7 @@ func (s *Search) Run() (*Report, error) {
 	type symOut struct {
 		finding FileFinding
 		execs   int
+		spec    int
 	}
 	outs, _ := exec.Map(s.Pool, len(fileFindings), func(i int) (symOut, error) {
 		ff := fileFindings[i]
@@ -214,49 +235,51 @@ func (s *Search) Run() (*Report, error) {
 			finding.Status = SymbolsSkipped // another shard searches this file
 			return symOut{finding: finding}, nil
 		}
-		execs := s.searchSymbols(&finding, baseRes)
-		return symOut{finding: finding, execs: execs}, nil
+		execs, spec := s.searchSymbols(&finding, baseRes, sub)
+		return symOut{finding: finding, execs: execs, spec: spec}, nil
 	})
 	for _, o := range outs {
 		report.Files = append(report.Files, o.finding)
 		report.Execs += o.execs
+		report.SpecExecs += o.spec
 	}
 	return report, nil
 }
 
 // searchSymbols performs the Symbol Bisect phase for one found file and
-// returns how many program executions it used.
-func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result) int {
+// returns how many program executions it used — the paper count and the
+// extra speculative count separately.
+func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, sub *exec.Submitter) (int, int) {
 	// The -fPIC probe: rebuild the whole file with -fPIC under the
 	// variable compilation; if the variability disappears the optimization
 	// needed translation-unit-wide freedom and the search must stop here.
 	probeEx, err := link.FPICProbeBuild(s.Prog, s.Baseline, s.Variable, finding.File)
 	if err != nil {
 		finding.Status = SymbolsCrashed
-		return 0
+		return 0, 0
 	}
 	execs := 1 // the probe run
 	probeRes, err := s.runAll(probeEx)
 	if err != nil {
 		finding.Status = SymbolsCrashed
-		return execs
+		return execs, 0
 	}
 	if s.Test.Compare(baseRes, probeRes) == 0 {
 		finding.Status = FPICRemoved
-		return execs
+		return execs, 0
 	}
 
 	symbols := s.Prog.ExportedSymbols(finding.File)
 	if len(symbols) == 0 {
 		finding.Status = NoExportedSymbols
-		return execs
+		return execs, 0
 	}
 	names := make([]string, len(symbols))
 	for i, sym := range symbols {
 		names[i] = sym.Name
 	}
 
-	symSearch := NewSearcher(func(syms []string) (float64, error) {
+	symSearch := NewSpeculativeSearcher(func(syms []string) (float64, error) {
 		ex, err := link.SymbolMixBuild(s.Prog, s.Baseline, s.Variable, syms)
 		if err != nil {
 			return 0, err
@@ -266,7 +289,7 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result) int {
 			return 0, err
 		}
 		return s.Test.Compare(baseRes, got), nil
-	})
+	}, sub)
 	var found []Finding
 	if s.K > 0 {
 		found, err = symSearch.Biggest(names, s.K)
@@ -283,5 +306,5 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result) int {
 	default:
 		finding.Status = SymbolsAssumption
 	}
-	return execs
+	return execs, symSearch.SpecExecs()
 }

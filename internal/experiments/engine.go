@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/apps/mfem"
+	"repro/internal/bisect"
 	"repro/internal/comp"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -28,6 +30,41 @@ type Engine struct {
 	mfemOnce sync.Once
 	mfemRes  *flit.Results
 	mfemErr  error
+
+	bisectSearches atomic.Int64
+	bisectExecs    atomic.Int64
+	bisectSpec     atomic.Int64
+}
+
+// BisectStats aggregates the bisect engine's two execution counters over
+// every search noted on this engine. Execs is the paper's sequential-trace
+// accounting (the Tables 2/4 cost measure, identical at every -j);
+// SpecExecs is the extra speculative work wall-clock was traded for
+// (timing-dependent, diagnostics only — the CLI prints it under -stats).
+type BisectStats struct {
+	Searches  int64
+	Execs     int64
+	SpecExecs int64
+}
+
+// NoteBisect folds one search report into the engine's bisect counters.
+// Safe for concurrent use: the Table 2/4 fan-outs note from pool workers.
+func (e *Engine) NoteBisect(r *bisect.Report) {
+	if r == nil {
+		return
+	}
+	e.bisectSearches.Add(1)
+	e.bisectExecs.Add(int64(r.Execs))
+	e.bisectSpec.Add(int64(r.SpecExecs))
+}
+
+// BisectStats snapshots the engine's bisect counters.
+func (e *Engine) BisectStats() BisectStats {
+	return BisectStats{
+		Searches:  e.bisectSearches.Load(),
+		Execs:     e.bisectExecs.Load(),
+		SpecExecs: e.bisectSpec.Load(),
+	}
 }
 
 // NewEngine returns an engine running up to parallelism evaluations at

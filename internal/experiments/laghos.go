@@ -117,6 +117,7 @@ func (e *Engine) Table4() ([]Table4Row, error) {
 				Cache:    e.cache,
 			}
 			report, err := s.Run()
+			e.NoteBisect(report)
 			if err != nil {
 				return row, fmt.Errorf("laghos bisect (base %s, digits %d, k %d): %w",
 					base, digits, k, err)
@@ -162,6 +163,7 @@ func table4TopFunction() (string, error) {
 		Cache:    e.Cache(),
 	}
 	report, err := s.Run()
+	e.NoteBisect(report)
 	if err != nil {
 		return "", err
 	}
@@ -179,6 +181,9 @@ type NaNBugResult struct {
 	Symbols []string
 	Files   []string
 	Execs   int
+	// SpecExecs is the speculative extra beyond the paper's count —
+	// timing-dependent diagnostics, excluded from the rendered output.
+	SpecExecs int
 }
 
 // RunNaNBug reproduces the NaN-bug re-discovery on the default engine.
@@ -196,10 +201,11 @@ func (e *Engine) RunNaNBug() (*NaNBugResult, error) {
 		Cache:    e.cache,
 	}
 	report, err := s.Run()
+	e.NoteBisect(report)
 	if err != nil {
 		return nil, err
 	}
-	out := &NaNBugResult{Execs: report.Execs}
+	out := &NaNBugResult{Execs: report.Execs, SpecExecs: report.SpecExecs}
 	for _, ff := range report.Files {
 		out.Files = append(out.Files, ff.File)
 		for _, sf := range ff.Symbols {

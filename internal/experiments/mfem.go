@@ -285,6 +285,7 @@ func (e *Engine) Findings() ([]Finding, error) {
 				continue
 			}
 			report, err := wf.Bisect(wf.TestByName(name), rr.Comp, 0)
+			e.NoteBisect(report)
 			if err != nil {
 				continue
 			}

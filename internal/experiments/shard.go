@@ -38,9 +38,27 @@ func (e *Engine) ImportArtifacts(arts ...*flit.Artifact) error {
 	if err := flit.ValidateShardSet(arts); err != nil {
 		return fmt.Errorf("experiments: merging shard artifacts: %w", err)
 	}
-	for _, a := range arts {
+	for i, a := range arts {
 		if err := e.cache.Import(a); err != nil {
-			return err
+			return fmt.Errorf("experiments: shard artifact %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WarmStart seeds this engine's cache from previously exported artifacts
+// without requiring a complete shard set: each artifact is validated
+// individually (format and engine version — foreign results are still
+// rejected), but shard coordinates and recorded commands may differ and
+// gaps are fine. A warm start reuses yesterday's executions, it does not
+// replay a command: whatever the artifacts do not cover is recomputed, and
+// because a cache hit is bit-identical to a recomputation the output is
+// unchanged — only the wall-clock shrinks. This is the incremental half of
+// the shard protocol: any shard artifact doubles as a warm-start cache.
+func (e *Engine) WarmStart(arts ...*flit.Artifact) error {
+	for i, a := range arts {
+		if err := e.cache.Import(a); err != nil {
+			return fmt.Errorf("experiments: warm-start artifact %d: %w", i, err)
 		}
 	}
 	return nil

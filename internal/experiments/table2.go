@@ -102,6 +102,7 @@ func (e *Engine) Table2(limit int) ([]Table2Row, int, error) {
 	for k, out := range outs {
 		a := byCompiler[selected[k].Comp.Compiler]
 		report, err := out.report, out.err
+		e.NoteBisect(report)
 		if report != nil {
 			a.execs += report.Execs
 			a.searches++

@@ -11,9 +11,14 @@
 #   shard smoke      the distributed protocol end to end through real
 #                    binaries: quickstart as 2 shards + merge must be
 #                    byte-identical to the unsharded run
-#   bench shard      one iteration of BenchmarkParallelEngineSweep with
-#                    BENCH_SHARD_JSON set, appending this run's engine
-#                    timings (cache, fan-out, shard+merge) to
+#   bisect smoke     the speculative bisect engine end to end through a
+#                    real binary: the laghos-bisect example at -j 1 (the
+#                    paper's sequential probe order) and -j 8 (speculative)
+#                    must print byte-identical output
+#   bench shard      one iteration each of BenchmarkParallelEngineSweep and
+#                    BenchmarkSpeculativeBisect with BENCH_SHARD_JSON set,
+#                    appending this run's engine timings (cache, fan-out,
+#                    shard+merge, bisect j1/j8 + spec-execs) to
 #                    BENCH_shard.json — the recorded perf trajectory
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -34,6 +39,12 @@ go build -o "$SHARD_TMP/quickstart" ./examples/quickstart
 "$SHARD_TMP/quickstart" -merge "$SHARD_TMP/s0.json,$SHARD_TMP/s1.json" >"$SHARD_TMP/merged.txt"
 diff "$SHARD_TMP/unsharded.txt" "$SHARD_TMP/merged.txt"
 
-# Record the engine's perf trajectory (appends one JSON line per run).
+# Speculative-bisect smoke: j1 vs j8 through a real binary, byte for byte.
+go build -o "$SHARD_TMP/laghos-bisect" ./examples/laghos-bisect
+"$SHARD_TMP/laghos-bisect" -j 1 >"$SHARD_TMP/laghos-j1.txt"
+"$SHARD_TMP/laghos-bisect" -j 8 >"$SHARD_TMP/laghos-j8.txt"
+diff "$SHARD_TMP/laghos-j1.txt" "$SHARD_TMP/laghos-j8.txt"
+
+# Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
-	go test -run NONE -bench BenchmarkParallelEngineSweep -benchtime 1x .
+	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect' -benchtime 1x .
