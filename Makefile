@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench shard-smoke bench-shard
+.PHONY: ci vet build test race bench-smoke bench shard-smoke incremental-smoke bench-shard
 
-ci: vet build race bench-smoke shard-smoke bench-shard
+ci: vet build race bench-smoke shard-smoke incremental-smoke bench-shard
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,23 @@ shard-smoke:
 	$$tmp/quickstart -shard 1/2 -shard-out $$tmp/s1.json && \
 	$$tmp/quickstart -merge $$tmp/s0.json,$$tmp/s1.json >$$tmp/merged.txt && \
 	diff $$tmp/unsharded.txt $$tmp/merged.txt && echo "shard smoke: byte-identical"
+
+# The incremental-campaign engine end to end: a one-flag mutation of the
+# quickstart warm-started from its own baseline must report exactly the
+# mutated cells, the same-command re-export must diff empty offline, and
+# gc must prune only the superseded generation. (scripts/ci.sh runs the
+# same smoke plus manifest-protection checks and the coverage record.)
+incremental-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/quickstart ./examples/quickstart && \
+	$(GO) build -o $$tmp/flit ./cmd/flit && \
+	$$tmp/quickstart -shard 0/1 -shard-out $$tmp/gen1.json && \
+	$$tmp/quickstart -unroll -warm-start $$tmp/gen1.json | grep 'delta: new=1 dropped=1 changed=0' && \
+	$$tmp/quickstart -shard 0/1 -shard-out $$tmp/gen2.json && \
+	$$tmp/flit delta -baseline $$tmp/gen1.json $$tmp/gen2.json | grep 'delta: new=0 dropped=0 changed=0' && \
+	$$tmp/flit gc -dir $$tmp -keep 1 | grep "pruned $$tmp/gen1.json" && \
+	test ! -f $$tmp/gen1.json && test -f $$tmp/gen2.json && \
+	echo "incremental smoke: delta exact, gc pruned the stale generation"
 
 # One iteration of the engine sweep benchmark, appending its timings to
 # BENCH_shard.json (the recorded perf trajectory of the engine).

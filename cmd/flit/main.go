@@ -11,6 +11,8 @@
 //	                  findings|motivation|table4|laghos-nan|table5|mpi|
 //	                  sweep|all>
 //	flit merge [-j N] shard0.json shard1.json ...
+//	flit delta -baseline a.json[,b.json...] [-delta-out report.json] new0.json ...
+//	flit gc -dir DIR [-keep N] [-dry-run] [-warm-start a.json,b.json]
 //
 // "sweep" renders the sampled end-to-end digest of every subsystem on a
 // fresh engine — the determinism witness the equivalence tests compare
@@ -42,6 +44,17 @@
 // no complete shard set is required — any artifacts from this engine
 // version will do; covered evaluations become cache hits, everything else
 // is recomputed, and the output is byte-identical to a cold run.
+//
+// Incremental campaigns: with -warm-start in effect, -delta-out FILE
+// writes a structured DeltaReport after the run — which build/run keys are
+// new against the warmed baseline, which baseline keys were dropped, and
+// (under -delta-verify, which recomputes covered evaluations instead of
+// trusting them) which values diverged bit-exactly; -stats adds a one-line
+// delta summary on stderr. `flit delta` computes the same report offline
+// between two artifact sets, without re-running anything, and `flit gc`
+// prunes superseded artifact generations from a campaign directory —
+// grouped by (engine version, command, shard), keeping the newest -keep
+// files per slot and never touching files named by its -warm-start list.
 package main
 
 import (
@@ -88,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdExperiments(args[1:], stdout, stderr)
 	case "merge":
 		err = cmdMerge(args[1:], stdout, stderr)
+	case "delta":
+		err = cmdDelta(args[1:], stdout, stderr)
+	case "gc":
+		err = cmdGc(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -111,6 +128,8 @@ func usage(w io.Writer) {
   flit bisect [-j N] -test ExampleNN -comp "g++ -O3 -mavx2 -mfma" [-k N]
   flit experiments [-j N] <name|all>
   flit merge [-j N] shard0.json shard1.json ...
+  flit delta -baseline a.json[,b.json...] [-delta-out report.json] new0.json ...
+  flit gc -dir DIR [-keep N] [-dry-run] [-warm-start a.json,b.json]
 
 experiment names: table1 figure4 figure5 figure6 table2 table3 findings
   motivation table4 laghos-nan table5 mpi, or "sweep" for the sampled
@@ -123,19 +142,30 @@ paper's sequential order); output is bit-identical at every -j.
 writes a JSON result artifact to -shard-out FILE instead of the normal
 output; "flit merge" reassembles a complete artifact set into output
 byte-identical to the unsharded run. -warm-start a.json,b.json seeds the
-cache from prior artifacts (no complete set required) before running.
--stats prints cache and bisect execution counters to stderr; -cache-cap M
-bounds resident run results with LRU eviction (0 = unbounded).`)
+cache from prior artifacts (no complete set required) before running;
+with it, -delta-out FILE writes the run's DeltaReport (new/dropped/changed
+keys vs the warmed baseline) and -delta-verify recomputes covered
+evaluations to detect bit-exact divergence instead of trusting them.
+-stats prints cache and bisect execution counters (plus the delta summary
+when warm-started) to stderr; -cache-cap M bounds resident run results
+with LRU eviction (0 = unbounded).
+
+"flit delta" diffs two artifact sets offline (no re-running): each set is
+validated like merge; "flit gc" prunes superseded artifact generations
+per (engine, command, shard) slot, keeping the newest -keep of each and
+never touching files listed in its -warm-start manifest.`)
 }
 
 // cliOpts carries the engine-shaping flags shared by every subcommand.
 type cliOpts struct {
-	j         *int
-	shardStr  *string
-	shardOut  *string
-	stats     *bool
-	cacheCap  *int
-	warmStart *string
+	j           *int
+	shardStr    *string
+	shardOut    *string
+	stats       *bool
+	cacheCap    *int
+	warmStart   *string
+	deltaOut    *string
+	deltaVerify *bool
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors back
@@ -152,6 +182,10 @@ func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *cliOpts) {
 		cacheCap: fs.Int("cache-cap", 0, "max resident memoized run results, LRU-evicted (0 = unbounded)"),
 		warmStart: fs.String("warm-start", "",
 			"comma-separated shard artifacts whose results seed the cache (no complete set required)"),
+		deltaOut: fs.String("delta-out", "",
+			"write the run's DeltaReport vs the -warm-start baseline to FILE (JSON)"),
+		deltaVerify: fs.Bool("delta-verify", false,
+			"recompute baseline-covered evaluations and report bit-exact divergence instead of trusting them"),
 	}
 	return fs, o
 }
@@ -225,12 +259,56 @@ func (o *cliOpts) engine() (*experiments.Engine, error) {
 			return nil, errors.New("-cache-cap cannot be combined with -shard (evicted results would be missing from the artifact)")
 		}
 	}
+	if err := o.checkDeltaFlags(); err != nil {
+		return nil, err
+	}
 	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
 	eng.SetShard(shard)
+	if *o.warmStart != "" && *o.cacheCap <= 0 {
+		// Warm starts track provenance: -stats can then summarize the
+		// delta, and -delta-out can write the structured report. Not under
+		// -cache-cap, though — eviction removes entries (and their
+		// provenance) from the cache, so any delta would be fiction;
+		// checkDeltaFlags already rejected the explicit delta flags, and a
+		// capped warm start simply reports no delta at all.
+		eng.EnableDelta(*o.deltaVerify)
+	}
 	if err := o.loadWarmStart(eng); err != nil {
 		return nil, err
 	}
 	return eng, nil
+}
+
+// checkDeltaFlags rejects delta-flag combinations that could not produce a
+// truthful report: no baseline to delta against, or an evicting cache that
+// forgets the provenance the report is built from.
+func (o *cliOpts) checkDeltaFlags() error {
+	if (*o.deltaOut != "" || *o.deltaVerify) && *o.warmStart == "" {
+		return errors.New("-delta-out/-delta-verify require -warm-start BASELINE_ARTIFACTS")
+	}
+	if (*o.deltaOut != "" || *o.deltaVerify) && *o.cacheCap > 0 {
+		return errors.New("-delta-out/-delta-verify cannot be combined with -cache-cap (evicted entries would be misreported as dropped)")
+	}
+	return nil
+}
+
+// emitDelta writes the warm-started run's DeltaReport (-delta-out) and its
+// one-line summary (-stats, on stderr). A no-op without a warmed baseline.
+func emitDelta(eng *experiments.Engine, o *cliOpts, command []string, stderr io.Writer) error {
+	if !eng.DeltaEnabled() {
+		return nil
+	}
+	rep, err := eng.DeltaReport(command)
+	if err != nil {
+		return err
+	}
+	if *o.stats {
+		fmt.Fprintln(stderr, rep.Summary())
+	}
+	if *o.deltaOut != "" {
+		return flit.WriteDeltaReportFile(rep, *o.deltaOut)
+	}
+	return nil
 }
 
 // execute runs a subcommand's renderer through the shard/stats plumbing.
@@ -252,8 +330,12 @@ func execute(eng *experiments.Engine, o *cliOpts, command []string,
 	if err != nil {
 		return err
 	}
+	if err := emitDelta(eng, o, command, stderr); err != nil {
+		return err
+	}
 	if o.shardMode() {
 		art := eng.ExportArtifact(command)
+		art.Stamp()
 		if err := flit.WriteArtifactFile(art, *o.shardOut); err != nil {
 			return fmt.Errorf("writing shard artifact: %w", err)
 		}
@@ -440,12 +522,19 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 	if len(arts) == 0 {
 		return errors.New("merge requires at least one shard artifact file")
 	}
+	if err := o.checkDeltaFlags(); err != nil {
+		return err
+	}
 	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
 	if err := eng.ImportArtifacts(arts...); err != nil {
 		return err
 	}
 	// -warm-start composes with merge: extra artifacts (e.g. yesterday's
-	// campaign) seed additional cache entries on top of the shard set.
+	// campaign) seed additional cache entries on top of the shard set, and
+	// with -delta-out/-stats the replay is also diffed against them.
+	if *o.warmStart != "" {
+		eng.EnableDelta(*o.deltaVerify)
+	}
 	if err := o.loadWarmStart(eng); err != nil {
 		return err
 	}
@@ -453,7 +542,10 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 	if *o.stats {
 		printStats(eng, stderr)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return emitDelta(eng, o, arts[0].Command, stderr)
 }
 
 // replayCommand re-executes the canonical command recorded in a shard
@@ -491,6 +583,94 @@ func replayCommand(eng *experiments.Engine, command []string, stdout io.Writer) 
 	default:
 		return fmt.Errorf("artifact records unknown command %q", command[0])
 	}
+}
+
+// cmdDelta diffs two artifact sets offline: the -baseline set against the
+// positional current set, each validated like a merge input (this build's
+// engine version, one command, complete shard partition). Nothing is
+// re-run; the report is rendered to stdout and optionally written as JSON.
+func cmdDelta(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("delta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "comma-separated baseline artifact set (required)")
+	deltaOut := fs.String("delta-out", "", "also write the DeltaReport to FILE (JSON)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *baseline == "" {
+		return errors.New("delta requires -baseline a.json[,b.json...]")
+	}
+	base, err := readArtifacts(strings.Split(*baseline, ","))
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	cur, err := readArtifacts(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return errors.New("delta requires at least one current artifact file")
+	}
+	rep, err := flit.DiffArtifacts(base, cur)
+	if err != nil {
+		return err
+	}
+	rep.Render(stdout)
+	if *deltaOut == "" {
+		return nil
+	}
+	return flit.WriteDeltaReportFile(rep, *deltaOut)
+}
+
+// cmdGc prunes superseded artifact generations from a campaign directory.
+// Artifacts are grouped by (engine version, command, shard slot); the
+// newest -keep files of each slot survive, files listed in -warm-start are
+// never touched, and files that do not parse as artifacts are skipped.
+func cmdGc(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "artifact directory to collect (required)")
+	keep := fs.Int("keep", 1, "generations to keep per (engine, command, shard) slot")
+	dryRun := fs.Bool("dry-run", false, "plan and report only; delete nothing")
+	manifest := fs.String("warm-start", "", "comma-separated artifacts a live campaign still warm-starts from; never pruned")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("gc requires -dir DIR")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("gc takes no positional arguments (got %q)", fs.Args())
+	}
+	protect := make(map[string]bool)
+	for _, p := range strings.Split(*manifest, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			protect[flit.NormalizePath(p)] = true
+		}
+	}
+	plan, err := flit.PlanGC(*dir, *keep, protect)
+	if err != nil {
+		return err
+	}
+	verb := "pruned"
+	if *dryRun {
+		verb = "would prune"
+	}
+	for _, p := range plan.Pruned {
+		fmt.Fprintf(stdout, "%s %s\n", verb, p)
+	}
+	for _, p := range plan.Protected {
+		fmt.Fprintf(stdout, "protected %s\n", p)
+	}
+	for _, p := range plan.Skipped {
+		fmt.Fprintf(stdout, "skipped %s (not a valid artifact of this engine)\n", p)
+	}
+	fmt.Fprintf(stdout, "gc: kept=%d %s=%d protected=%d skipped=%d\n",
+		len(plan.Kept), strings.ReplaceAll(verb, " ", "-"), len(plan.Pruned), len(plan.Protected), len(plan.Skipped))
+	if *dryRun {
+		return nil
+	}
+	return plan.Apply()
 }
 
 func runExperiment(eng *experiments.Engine, name string, w io.Writer) error {

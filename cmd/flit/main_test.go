@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/comp"
 )
@@ -355,6 +357,266 @@ func TestWarmStartSeedsEngineCache(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "warm-start") {
 		t.Errorf("stderr does not name -warm-start: %s", stderr.String())
+	}
+}
+
+// TestDeltaOutOnWarmStartedRun: -delta-out on a warm-started subcommand
+// writes the structured report, -stats prints its summary, and an
+// identical-command re-run is an empty delta.
+func TestDeltaOutOnWarmStartedRun(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-shard", "0/1", "-shard-out", base, "table4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline export: %s", stderr.String())
+	}
+	repPath := filepath.Join(dir, "delta.json")
+	stderr.Reset()
+	code := run([]string{"experiments", "-warm-start", base, "-delta-out", repPath, "-stats", "table4"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("warm run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "delta: new=0 dropped=0 changed=0") {
+		t.Errorf("-stats missing empty delta summary: %s", stderr.String())
+	}
+	raw, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatalf("-delta-out wrote nothing: %v", err)
+	}
+	for _, want := range []string{`"engine"`, `"unchanged"`, `"baseline_hits"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("delta report missing %s:\n%s", want, raw)
+		}
+	}
+
+	// -delta-verify recomputes and must also find nothing on a
+	// deterministic engine.
+	stderr.Reset()
+	code = run([]string{"experiments", "-warm-start", base, "-delta-verify", "-stats", "table4"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("verify run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "delta: new=0 dropped=0 changed=0") ||
+		!strings.Contains(stderr.String(), "baseline-hits=0") {
+		t.Errorf("verify-mode summary wrong: %s", stderr.String())
+	}
+
+	// Delta flags without a baseline are a usage bug, caught up front.
+	stderr.Reset()
+	if code := run([]string{"experiments", "-delta-out", repPath, "table3"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-delta-out without -warm-start: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-warm-start") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+
+	// So is combining them with an evicting cache: entries (and their
+	// provenance) would vanish mid-run and be misreported as dropped.
+	stderr.Reset()
+	code = run([]string{"experiments", "-warm-start", base, "-delta-out", repPath,
+		"-cache-cap", "10", "table4"}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "-cache-cap") {
+		t.Errorf("-delta-out with -cache-cap: exit %d, stderr %q", code, stderr.String())
+	}
+	// A capped warm start without delta flags stays legal (PR 3 behavior);
+	// it just reports no delta summary rather than a wrong one.
+	stderr.Reset()
+	code = run([]string{"experiments", "-warm-start", base, "-cache-cap", "10", "-stats", "table4"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("capped warm start: exit %d, stderr: %s", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "delta:") {
+		t.Errorf("capped warm start printed a delta summary it cannot stand behind: %s", stderr.String())
+	}
+}
+
+// TestMergeWarmStartDeltaComparesBits: on the merge path the shard set
+// seeds the cache before the -warm-start baseline, so a baseline hit is
+// served the *current* generation's bits — a drifted value must surface
+// as changed, not be trusted as a baseline hit. (Regression: the seeded
+// branch once counted uses>0 as unchanged without comparing.)
+func TestMergeWarmStartDeltaComparesBits(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.json")
+	old := filepath.Join(dir, "old.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-shard", "0/1", "-shard-out", cur, "table4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("export: %s", stderr.String())
+	}
+	// Yesterday's baseline: same artifact with one value bit drifted.
+	raw, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`"vec": \[\s*(\d+)`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("no vec record to perturb")
+	}
+	flipped := append([]byte(nil), m[1]...)
+	if flipped[len(flipped)-1] == '0' {
+		flipped[len(flipped)-1] = '1'
+	} else {
+		flipped[len(flipped)-1] = '0'
+	}
+	if err := os.WriteFile(old, bytes.Replace(raw, m[1], flipped, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"merge", "-warm-start", old, "-stats", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("merge: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "changed=1") {
+		t.Errorf("drifted baseline value not reported on the merge path:\n%s", stderr.String())
+	}
+}
+
+// TestDeltaSubcommandOffline drives `flit delta` end to end: identical
+// artifact sets diff empty; a bit-perturbed record is reported as exactly
+// one changed key; bad usage errors.
+func TestDeltaSubcommandOffline(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	var stdout, stderr bytes.Buffer
+	for _, p := range []string{a, b} {
+		if code := run([]string{"experiments", "-shard", "0/1", "-shard-out", p, "table4"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("export %s: %s", p, stderr.String())
+		}
+	}
+	stdout.Reset()
+	if code := run([]string{"delta", "-baseline", a, b}, &stdout, &stderr); code != 0 {
+		t.Fatalf("delta: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "delta: new=0 dropped=0 changed=0") {
+		t.Errorf("same-command artifact sets not empty:\n%s", stdout.String())
+	}
+
+	// Perturb one recorded bit in b and diff again.
+	raw, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`"vec": \[\s*(\d+)`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("no vec record to perturb")
+	}
+	// Flip the last digit in place so the value stays a valid uint64.
+	flipped := append([]byte(nil), m[1]...)
+	if flipped[len(flipped)-1] == '0' {
+		flipped[len(flipped)-1] = '1'
+	} else {
+		flipped[len(flipped)-1] = '0'
+	}
+	bumped := bytes.Replace(raw, m[1], flipped, 1)
+	if err := os.WriteFile(b, bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if code := run([]string{"delta", "-baseline", a, b}, &stdout, &stderr); code != 0 {
+		t.Fatalf("delta after perturbation: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "changed=1") || !strings.Contains(stdout.String(), "changed  ") {
+		t.Errorf("perturbed bit not reported:\n%s", stdout.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"delta", a}, &stdout, &stderr); code != 1 ||
+		!strings.Contains(stderr.String(), "-baseline") {
+		t.Errorf("delta without -baseline: exit %d, stderr %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"delta", "-baseline", a}, &stdout, &stderr); code != 1 {
+		t.Errorf("delta without current set: exit %d", code)
+	}
+}
+
+// TestGcSubcommand: superseded generations of one campaign slot are
+// pruned oldest-first, -dry-run deletes nothing, and the -warm-start
+// manifest protects its files.
+func TestGcSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "gen1.json")
+	newer := filepath.Join(dir, "gen2.json")
+	var stdout, stderr bytes.Buffer
+	for _, p := range []string{old, newer} {
+		if code := run([]string{"experiments", "-shard", "0/1", "-shard-out", p, "table4"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("export %s: %s", p, stderr.String())
+		}
+	}
+	// Same stamp second is possible; make the ordering unambiguous.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+	rewriteStamp(t, old, 1000)
+	rewriteStamp(t, newer, 2000)
+
+	stdout.Reset()
+	if code := run([]string{"gc", "-dir", dir, "-keep", "1", "-dry-run"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("gc -dry-run: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "would prune "+old) {
+		t.Errorf("dry run plan wrong:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(old); err != nil {
+		t.Fatalf("-dry-run deleted a file: %v", err)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"gc", "-dir", dir, "-keep", "1", "-warm-start", old}, &stdout, &stderr); code != 0 {
+		t.Fatalf("gc with manifest: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "protected "+old) {
+		t.Errorf("manifest file not protected:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(old); err != nil {
+		t.Fatalf("protected file pruned: %v", err)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"gc", "-dir", dir, "-keep", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("gc: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "pruned "+old) || !strings.Contains(stdout.String(), "kept=1") {
+		t.Errorf("gc output wrong:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Error("superseded generation survived gc")
+	}
+	if _, err := os.Stat(newer); err != nil {
+		t.Errorf("newest generation pruned: %v", err)
+	}
+
+	stderr.Reset()
+	if code := run([]string{"gc", "-keep", "1"}, &stdout, &stderr); code != 1 ||
+		!strings.Contains(stderr.String(), "-dir") {
+		t.Errorf("gc without -dir: exit %d, stderr %s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"gc", "-dir", dir, "-keep", "0"}, &stdout, &stderr); code != 1 {
+		t.Errorf("gc -keep 0: exit %d, want 1", code)
+	}
+}
+
+// rewriteStamp rewrites an artifact file's created_unix so tests control
+// generation ordering exactly.
+func rewriteStamp(t *testing.T, path string, unix int64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`"created_unix": \d+`)
+	if !re.Match(raw) {
+		t.Fatalf("%s carries no created_unix stamp", path)
+	}
+	out := re.ReplaceAll(raw, []byte(fmt.Sprintf(`"created_unix": %d`, unix)))
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -7,6 +7,16 @@
 //	quickstart -shard 0/2 -shard-out s0.json   # machine 1
 //	quickstart -shard 1/2 -shard-out s1.json   # machine 2
 //	quickstart -merge s0.json,s1.json          # byte-identical to plain run
+//
+// ... and the incremental one: -warm-start seeds the cache from a prior
+// artifact, -delta-out reports exactly which build/run results changed
+// against that baseline, and -unroll simulates the config drift a
+// long-lived campaign exists to monitor (the plain g++ -O3 matrix row
+// becomes g++ -O3 -funroll-loops — value-safe, so exactly one cell's
+// identity moves):
+//
+//	quickstart -shard 0/1 -shard-out base.json
+//	quickstart -unroll -warm-start base.json -delta-out delta.json
 package main
 
 import (
@@ -71,26 +81,52 @@ func (t *myTest) Compare(baseline, other flit.Result) float64 {
 	return flit.L2Diff(baseline, other)
 }
 
+// opts carries the quickstart's CLI configuration.
+type opts struct {
+	shard     string // "i/N" shard of the matrix, artifact mode
+	shardOut  string // artifact file a -shard run writes
+	merge     string // comma-separated shard artifacts to merge and replay
+	warmStart string // comma-separated artifacts that seed the cache
+	deltaOut  string // DeltaReport file a warm-started run writes
+	unroll    bool   // mutate the matrix (incremental-campaign demo)
+}
+
 func main() {
-	shardStr := flag.String("shard", "", `run one shard "i/N" of the matrix and write an artifact`)
-	shardOut := flag.String("shard-out", "", "artifact file the -shard run writes")
-	merge := flag.String("merge", "", "comma-separated shard artifacts to merge and replay")
+	var o opts
+	flag.StringVar(&o.shard, "shard", "", `run one shard "i/N" of the matrix and write an artifact`)
+	flag.StringVar(&o.shardOut, "shard-out", "", "artifact file the -shard run writes")
+	flag.StringVar(&o.merge, "merge", "", "comma-separated shard artifacts to merge and replay")
+	flag.StringVar(&o.warmStart, "warm-start", "", "comma-separated artifacts whose results seed the cache")
+	flag.StringVar(&o.deltaOut, "delta-out", "", "write the run's DeltaReport vs the -warm-start baseline to FILE")
+	flag.BoolVar(&o.unroll, "unroll", false,
+		"mutate the matrix: the plain g++ -O3 row becomes g++ -O3 -funroll-loops (incremental-campaign demo)")
 	flag.Parse()
-	if err := cli(*shardStr, *shardOut, *merge, os.Stdout); err != nil {
+	if err := cli(o, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// command is the canonical replay command recorded in artifacts, so a
+// merge reproduces the run — mutation flag included — byte for byte.
+func (o opts) command() []string {
+	c := []string{"quickstart"}
+	if o.unroll {
+		c = append(c, "-unroll")
+	}
+	return c
+}
+
 // cli dispatches between a plain run, one shard of a distributed run, and
-// the merge replay — the same record/replay protocol `flit merge` uses.
-func cli(shardStr, shardOut, merge string, w io.Writer) error {
-	if merge != "" {
-		if shardStr != "" || shardOut != "" {
-			return fmt.Errorf("-merge cannot be combined with -shard/-shard-out")
+// the merge replay — the same record/replay protocol `flit merge` uses —
+// with optional warm-start/delta tracking on the run paths.
+func cli(o opts, w io.Writer) error {
+	if o.merge != "" {
+		if o.shard != "" || o.shardOut != "" || o.warmStart != "" || o.deltaOut != "" || o.unroll {
+			return fmt.Errorf("-merge replays recorded artifacts and combines with no other flag")
 		}
 		cache := flit.NewCache()
 		var arts []*flit.Artifact
-		for _, path := range strings.Split(merge, ",") {
+		for _, path := range strings.Split(o.merge, ",") {
 			a, err := flit.ReadArtifactFile(path)
 			if err != nil {
 				return err
@@ -105,43 +141,93 @@ func cli(shardStr, shardOut, merge string, w io.Writer) error {
 				return err
 			}
 		}
-		// Replay the full workflow: every matrix evaluation is answered
-		// from the merged cache, so the output is byte-identical to an
-		// unsharded run.
-		return runWith(w, exec.Shard{}, cache, 0)
+		// Replay the recorded command — including a recorded -unroll
+		// mutation — with every matrix evaluation answered from the merged
+		// cache: byte-identical to the unsharded run.
+		unroll := false
+		for _, arg := range arts[0].Command {
+			if arg == "-unroll" {
+				unroll = true
+			}
+		}
+		return runWith(w, exec.Shard{}, cache, 0, unroll)
 	}
-	shard, err := exec.ParseShard(shardStr)
+	shard, err := exec.ParseShard(o.shard)
 	if err != nil {
 		return err
+	}
+	cache := flit.NewCache()
+	var tracker *flit.DeltaTracker
+	if o.warmStart != "" {
+		tracker = flit.NewDeltaTracker(false)
+		for _, path := range strings.Split(o.warmStart, ",") {
+			a, err := flit.ReadArtifactFile(path)
+			if err != nil {
+				return err
+			}
+			if err := tracker.Seed(cache, a); err != nil {
+				return err
+			}
+		}
+	} else if o.deltaOut != "" {
+		return fmt.Errorf("-delta-out requires -warm-start BASELINE")
 	}
 	// Any -shard request runs in artifact mode — including "0/1", the
 	// degenerate single-shard set `flit merge` accepts as the N=1
 	// partition.
-	if shardStr != "" {
-		if shardOut == "" {
+	if o.shard != "" {
+		if o.shardOut == "" {
 			return fmt.Errorf("-shard requires -shard-out FILE")
 		}
-		cache := flit.NewCache()
-		if err := runWith(io.Discard, shard, cache, 0); err != nil {
+		if err := runWith(io.Discard, shard, cache, 0, o.unroll); err != nil {
 			return err
 		}
-		art := cache.Export(shard, []string{"quickstart"})
-		if err := flit.WriteArtifactFile(art, shardOut); err != nil {
+		art := cache.Export(shard, o.command())
+		art.Stamp()
+		if err := flit.WriteArtifactFile(art, o.shardOut); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "shard %s: %d runs, %d costs -> %s\n",
-			shard, len(art.Runs), len(art.Costs), shardOut)
+			shard, len(art.Runs), len(art.Costs), o.shardOut)
+		return emitDelta(tracker, cache, o, w)
+	}
+	if err := runWith(w, exec.Shard{}, cache, 0, o.unroll); err != nil {
+		return err
+	}
+	return emitDelta(tracker, cache, o, w)
+}
+
+// emitDelta prints the warm-started run's delta summary and writes the
+// structured report when asked; without a baseline it is a no-op.
+func emitDelta(tracker *flit.DeltaTracker, cache *flit.Cache, o opts, w io.Writer) error {
+	if tracker == nil {
 		return nil
 	}
-	return run(w)
+	rep := tracker.Report(cache, o.command())
+	fmt.Fprintln(w, rep.Summary())
+	if o.deltaOut == "" {
+		return nil
+	}
+	return flit.WriteDeltaReportFile(rep, o.deltaOut)
 }
 
 func run(w io.Writer) error {
-	return runWith(w, exec.Shard{}, flit.NewCache(), 0)
+	return runWith(w, exec.Shard{}, flit.NewCache(), 0, false)
 }
 
-func runWith(w io.Writer, shard exec.Shard, cache *flit.Cache, workers int) error {
+func runWith(w io.Writer, shard exec.Shard, cache *flit.Cache, workers int, unroll bool) error {
 	p := program()
+	matrix := comp.Matrix()
+	if unroll {
+		// The campaign's config drift: a value-safe switch lands on the
+		// plain g++ -O3 row, so exactly one cell changes identity while
+		// every result stays bitwise what it was.
+		for i, c := range matrix {
+			if c.Compiler == comp.GCC && c.OptLevel == "-O3" && c.Switches == "" {
+				matrix[i].Switches = "-funroll-loops"
+			}
+		}
+	}
 	// Step 3: pick the execution substrate — a worker pool fanning out the
 	// matrix cells, a cache memoizing repeated build/run pairs, and
 	// (optionally) this process's shard of a distributed run. Results are
@@ -157,7 +243,7 @@ func runWith(w io.Writer, shard exec.Shard, cache *flit.Cache, workers int) erro
 			Cache:     cache,
 			Shard:     shard,
 		},
-		Matrix: comp.Matrix(), // all 244 compilations of the study
+		Matrix: matrix, // all 244 compilations of the study
 	}
 
 	// Level 1 + 2: which compilations deviate, and what does speed cost?

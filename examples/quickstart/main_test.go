@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/exec"
+	"repro/internal/flit"
 )
 
 // TestQuickstartSmoke runs the whole quickstart workflow — matrix analysis,
@@ -51,18 +54,80 @@ func TestQuickstartShardMergeEquivalence(t *testing.T) {
 			// full artifact, and merging it alone must still replay exactly.
 			shard := exec.Shard{Index: i, Count: n}
 			p := filepath.Join(dir, strings.ReplaceAll(shard.String(), "/", "-")+".json")
-			if err := cli(shard.String(), p, "", io.Discard); err != nil {
+			if err := cli(opts{shard: shard.String(), shardOut: p}, io.Discard); err != nil {
 				t.Fatalf("N=%d shard %d: %v", n, i, err)
 			}
 			paths = append(paths, p)
 		}
 		var got strings.Builder
-		if err := cli("", "", strings.Join(paths, ","), &got); err != nil {
+		if err := cli(opts{merge: strings.Join(paths, ",")}, &got); err != nil {
 			t.Fatalf("N=%d merge: %v", n, err)
 		}
 		if got.String() != want.String() {
 			t.Errorf("N=%d: merged output differs from plain run:\n--- merged ---\n%s\n--- plain ---\n%s",
 				n, got.String(), want.String())
 		}
+	}
+}
+
+// TestQuickstartIncrementalDelta is the example-level incremental-campaign
+// proof: warm-starting from an identical-command baseline reports an empty
+// delta, and mutating exactly one compiler flag (-unroll moves the plain
+// g++ -O3 row) reports exactly one new and one dropped cell — nothing
+// else, because every other evaluation is answered from the baseline.
+func TestQuickstartIncrementalDelta(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := cli(opts{shard: "0/1", shardOut: base}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var same strings.Builder
+	if err := cli(opts{warmStart: base}, &same); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(same.String(), "delta: new=0 dropped=0 changed=0") {
+		t.Errorf("identical warm-started run reported a non-empty delta:\n%s", same.String())
+	}
+
+	deltaPath := filepath.Join(dir, "delta.json")
+	var mutated strings.Builder
+	if err := cli(opts{warmStart: base, deltaOut: deltaPath, unroll: true}, &mutated); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mutated.String(), "delta: new=1 dropped=1 changed=0") {
+		t.Errorf("flag mutation not scoped to one cell:\n%s", mutated.String())
+	}
+	raw, err := os.ReadFile(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep flit.DeltaReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("delta report is not valid JSON: %v", err)
+	}
+	if len(rep.New) != 1 || !strings.Contains(rep.New[0].Key, "-funroll-loops") {
+		t.Errorf("new key does not name the mutated compilation: %+v", rep.New)
+	}
+	if len(rep.Dropped) != 1 || strings.Contains(rep.Dropped[0].Key, "-funroll-loops") {
+		t.Errorf("dropped key should be the pre-mutation cell: %+v", rep.Dropped)
+	}
+
+	// The mutated run's artifact replays byte-identically through -merge:
+	// the recorded command carries the mutation.
+	next := filepath.Join(dir, "next.json")
+	if err := cli(opts{shard: "0/1", shardOut: next, unroll: true}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var want, got strings.Builder
+	if err := cli(opts{unroll: true}, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli(opts{merge: next}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("merge replay lost the recorded -unroll mutation:\n--- merged ---\n%s\n--- direct ---\n%s",
+			got.String(), want.String())
 	}
 }

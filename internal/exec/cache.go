@@ -39,11 +39,17 @@ type Cache[V any] struct {
 }
 
 type cacheEntry[V any] struct {
-	key        string
-	done       chan struct{}
-	val        V
-	err        error
-	completed  bool // guarded by Cache.mu
+	key       string
+	done      chan struct{}
+	val       V
+	err       error
+	completed bool // guarded by Cache.mu
+	// seeded marks an entry installed by Seed (imported from an artifact)
+	// rather than computed here; uses counts how many Do calls this entry
+	// answered. Both guarded by Cache.mu — the provenance the incremental
+	// campaign engine's delta detector reads back through EachInfo.
+	seeded     bool
+	uses       int64
 	prev, next *cacheEntry[V]
 }
 
@@ -68,13 +74,14 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
 	}
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
+		e.uses++
 		c.moveToFront(e)
 		c.mu.Unlock()
 		c.hits.Add(1)
 		<-e.done
 		return e.val, e.err
 	}
-	e := &cacheEntry[V]{key: key, done: make(chan struct{})}
+	e := &cacheEntry[V]{key: key, done: make(chan struct{}), uses: 1}
 	c.m[key] = e
 	c.pushFront(e)
 	c.mu.Unlock()
@@ -116,7 +123,7 @@ func (c *Cache[V]) Seed(key string, val V, err error) bool {
 	if _, ok := c.m[key]; ok {
 		return false
 	}
-	e := &cacheEntry[V]{key: key, done: make(chan struct{}), val: val, err: err, completed: true}
+	e := &cacheEntry[V]{key: key, done: make(chan struct{}), val: val, err: err, completed: true, seeded: true}
 	close(e.done)
 	c.m[key] = e
 	c.pushFront(e)
@@ -129,24 +136,43 @@ func (c *Cache[V]) Seed(key string, val V, err error) bool {
 // export captures what has finished, which is everything once the owning
 // driver returns.
 func (c *Cache[V]) Each(fn func(key string, val V, err error)) {
+	c.EachInfo(func(key string, val V, err error, _ EntryInfo) { fn(key, val, err) })
+}
+
+// EntryInfo is the provenance of one completed cache entry: whether its
+// value was seeded from an artifact rather than computed here, and how many
+// Do calls this entry answered (seeding itself counts as none; the caller
+// that computed a fresh entry counts as one). The delta detector of the
+// incremental campaign engine classifies keys with it: a seeded entry with
+// uses is a baseline hit, a seeded entry without uses is a dropped baseline
+// key, an unseeded entry is fresh work.
+type EntryInfo struct {
+	Seeded bool
+	Uses   int64
+}
+
+// EachInfo is Each with each entry's provenance attached.
+func (c *Cache[V]) EachInfo(fn func(key string, val V, err error, info EntryInfo)) {
 	if c == nil {
 		return
 	}
 	type snap struct {
-		key string
-		val V
-		err error
+		key  string
+		val  V
+		err  error
+		info EntryInfo
 	}
 	c.mu.Lock()
 	entries := make([]snap, 0, len(c.m))
 	for _, e := range c.m {
 		if e.completed {
-			entries = append(entries, snap{key: e.key, val: e.val, err: e.err})
+			entries = append(entries, snap{key: e.key, val: e.val, err: e.err,
+				info: EntryInfo{Seeded: e.seeded, Uses: e.uses}})
 		}
 	}
 	c.mu.Unlock()
 	for _, s := range entries {
-		fn(s.key, s.val, s.err)
+		fn(s.key, s.val, s.err, s.info)
 	}
 }
 

@@ -55,9 +55,19 @@ func (e *Engine) ImportArtifacts(arts ...*flit.Artifact) error {
 // because a cache hit is bit-identical to a recomputation the output is
 // unchanged — only the wall-clock shrinks. This is the incremental half of
 // the shard protocol: any shard artifact doubles as a warm-start cache.
+// With delta tracking enabled (EnableDelta), each artifact also becomes
+// part of the run's baseline: the delta detector classifies every key
+// against it, and in verify mode the artifacts seed nothing — covered
+// evaluations are recomputed and compared bit-exactly instead.
 func (e *Engine) WarmStart(arts ...*flit.Artifact) error {
 	for i, a := range arts {
-		if err := e.cache.Import(a); err != nil {
+		var err error
+		if e.delta != nil {
+			err = e.delta.Seed(e.cache, a)
+		} else {
+			err = e.cache.Import(a)
+		}
+		if err != nil {
 			return fmt.Errorf("experiments: warm-start artifact %d: %w", i, err)
 		}
 	}

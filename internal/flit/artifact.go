@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/link"
@@ -39,13 +40,23 @@ const EngineVersion = "flit-engine/2"
 // Laghos NaN-bug study exists because of them), and byte-identity of the
 // merged output requires bit-identity of every replayed value.
 type Artifact struct {
-	Version int          `json:"version"`
-	Engine  string       `json:"engine"`
-	Command []string     `json:"command,omitempty"`
-	Shard   exec.Shard   `json:"shard"`
-	Runs    []RunRecord  `json:"runs"`
-	Costs   []CostRecord `json:"costs"`
+	Version int      `json:"version"`
+	Engine  string   `json:"engine"`
+	Command []string `json:"command,omitempty"`
+	// CreatedUnix is an optional wall-clock stamp (Unix seconds) recording
+	// when the artifact was written. Export leaves it zero — exports stay
+	// deterministic byte-for-byte — and the CLI stamps artifacts on write
+	// (Stamp) so `flit gc` can order the generations of a campaign. It is
+	// metadata only: merge, warm-start, and delta ignore it.
+	CreatedUnix int64        `json:"created_unix,omitempty"`
+	Shard       exec.Shard   `json:"shard"`
+	Runs        []RunRecord  `json:"runs"`
+	Costs       []CostRecord `json:"costs"`
 }
+
+// Stamp records the current wall-clock time as the artifact's creation
+// time, for generation ordering under `flit gc`.
+func (a *Artifact) Stamp() { a.CreatedUnix = time.Now().Unix() }
 
 // RunRecord is one memoized test execution.
 type RunRecord struct {
@@ -81,6 +92,26 @@ func (e *replayedError) Is(target error) bool {
 	return e.segfault && target == link.ErrSegfault
 }
 
+// recordOf serializes one memoized run entry: floats become IEEE-754 bit
+// patterns, errors keep their text and segfault identity.
+func recordOf(key string, v runVal) RunRecord {
+	r := RunRecord{Key: key}
+	if v.res.IsVec() {
+		r.IsVec = true
+		r.Vec = make([]uint64, len(v.res.Vec))
+		for i, x := range v.res.Vec {
+			r.Vec[i] = math.Float64bits(x)
+		}
+	} else {
+		r.Scalar = math.Float64bits(v.res.Scalar)
+	}
+	if v.err != nil {
+		r.Err = v.err.Error()
+		r.Segfault = errors.Is(v.err, link.ErrSegfault)
+	}
+	return r
+}
+
 // Export snapshots every completed entry of the cache into an artifact.
 // The records are sorted by key, so the same cache contents always
 // serialize to the same bytes.
@@ -97,21 +128,7 @@ func (c *Cache) Export(shard exec.Shard, command []string) *Artifact {
 		return a
 	}
 	c.runs.Each(func(key string, v runVal, _ error) {
-		r := RunRecord{Key: key}
-		if v.res.IsVec() {
-			r.IsVec = true
-			r.Vec = make([]uint64, len(v.res.Vec))
-			for i, x := range v.res.Vec {
-				r.Vec[i] = math.Float64bits(x)
-			}
-		} else {
-			r.Scalar = math.Float64bits(v.res.Scalar)
-		}
-		if v.err != nil {
-			r.Err = v.err.Error()
-			r.Segfault = errors.Is(v.err, link.ErrSegfault)
-		}
-		a.Runs = append(a.Runs, r)
+		a.Runs = append(a.Runs, recordOf(key, v))
 	})
 	c.costs.Each(func(key string, v float64, _ error) {
 		a.Costs = append(a.Costs, CostRecord{Key: key, Cost: math.Float64bits(v)})
@@ -158,7 +175,13 @@ func (c *Cache) Import(a *Artifact) error {
 	return nil
 }
 
-// Check validates an artifact's format and engine versions.
+// Check validates an artifact's format and engine versions and its
+// structural integrity. A key appearing twice in one artifact marks a
+// malformed (hand-edited, truncated-and-rejoined, or adversarial) file: a
+// healthy export snapshots a map and can never produce duplicates, and
+// importing one silently would let whichever copy seeds first answer every
+// evaluation of that key — so duplicates are rejected outright, even when
+// the copies agree.
 func (a *Artifact) Check() error {
 	if a.Version != ArtifactVersion {
 		return fmt.Errorf("flit: artifact format v%d, this build reads v%d", a.Version, ArtifactVersion)
@@ -169,6 +192,20 @@ func (a *Artifact) Check() error {
 	}
 	if err := a.Shard.Validate(); err != nil {
 		return err
+	}
+	seen := make(map[string]bool, len(a.Runs))
+	for _, r := range a.Runs {
+		if seen[r.Key] {
+			return fmt.Errorf("flit: artifact records run key %q twice", r.Key)
+		}
+		seen[r.Key] = true
+	}
+	clear(seen)
+	for _, co := range a.Costs {
+		if seen[co.Key] {
+			return fmt.Errorf("flit: artifact records cost key %q twice", co.Key)
+		}
+		seen[co.Key] = true
 	}
 	return nil
 }

@@ -106,6 +106,29 @@ func (c *Cache) Cost(ex *link.Executable, root string) float64 {
 	return v
 }
 
+// RunEntry is one memoized run with its provenance: the serialized record,
+// whether the value was seeded from an artifact (vs computed by this
+// process), and how many times the cache answered a request with it. The
+// incremental campaign engine's delta detector classifies keys with it.
+type RunEntry struct {
+	Rec    RunRecord
+	Seeded bool
+	Uses   int64
+}
+
+// RunEntries snapshots every completed run entry with provenance, in
+// unspecified order (callers sort).
+func (c *Cache) RunEntries() []RunEntry {
+	if c == nil {
+		return nil
+	}
+	var out []RunEntry
+	c.runs.EachInfo(func(key string, v runVal, _ error, info exec.EntryInfo) {
+		out = append(out, RunEntry{Rec: recordOf(key, v), Seeded: info.Seeded, Uses: info.Uses})
+	})
+	return out
+}
+
 // Stats reports (hits, misses) of the run cache.
 func (c *Cache) Stats() (hits, misses int64) {
 	if c == nil {

@@ -1,9 +1,13 @@
 package flit
 
 import (
+	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/comp"
+	"repro/internal/exec"
 	"repro/internal/link"
 	"repro/internal/prog"
 )
@@ -66,6 +70,78 @@ func FuzzRunKeyInjective(f *testing.F) {
 		if !same && k1 == k2 {
 			t.Fatalf("distinct tuples collided on key %q:\n(%q,%q,%q,%q,%q)\n(%q,%q,%q,%q,%q)",
 				k1, prog1, comp1, opt1, sw1, test1, prog2, comp2, opt2, sw2, test2)
+		}
+	})
+}
+
+// FuzzArtifactDecode hardens the artifact ingestion path against
+// malformed files: whatever bytes arrive, decoding plus validation must
+// either reject with an error or yield an artifact that imports cleanly —
+// never panic, and never silently merge a malformed file. In particular a
+// duplicate key (the same run recorded twice, however the copies relate)
+// must be rejected: first-in-wins seeding would otherwise let one copy
+// silently answer for the other.
+func FuzzArtifactDecode(f *testing.F) {
+	valid := func() []byte {
+		c := NewCache()
+		c.runs.Seed("k1", runVal{res: ScalarResult(1.5)}, nil)
+		c.runs.Seed("k2", runVal{res: VecResult([]float64{1, 2})}, nil)
+		c.costs.Seed("k1", 2.5, nil)
+		var buf bytes.Buffer
+		if err := c.Export(exec.Shard{}, []string{"run"}).WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-object
+	f.Add(bytes.Replace(valid, []byte(`"engine"`), []byte(`"en�ine"`), 1))
+	dup := fmt.Sprintf(`{"version":%d,"engine":%q,"shard":{"index":0,"count":1},`+
+		`"runs":[{"key":"k","scalar":1},{"key":"k","scalar":2}],"costs":[]}`,
+		ArtifactVersion, EngineVersion)
+	f.Add([]byte(dup))
+	f.Add([]byte(strings.Replace(dup, `"scalar":2`, `"scalar":1`, 1))) // agreeing duplicate
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(fmt.Sprintf(`{"version":%d,"engine":%q,"shard":{"index":5,"count":2}}`,
+		ArtifactVersion, EngineVersion))) // impossible shard coordinates
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadArtifact(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at decode: fine
+		}
+		dupKey := func() bool {
+			seenRuns, seenCosts := map[string]bool{}, map[string]bool{}
+			for _, r := range a.Runs {
+				if seenRuns[r.Key] {
+					return true
+				}
+				seenRuns[r.Key] = true
+			}
+			for _, co := range a.Costs {
+				if seenCosts[co.Key] {
+					return true
+				}
+				seenCosts[co.Key] = true
+			}
+			return false
+		}()
+		checkErr := a.Check()
+		if dupKey && checkErr == nil {
+			t.Fatalf("duplicate-key artifact passed Check: %s", data)
+		}
+		c := NewCache()
+		impErr := c.Import(a)
+		if (checkErr == nil) != (impErr == nil) {
+			t.Fatalf("Check (%v) and Import (%v) disagree", checkErr, impErr)
+		}
+		if impErr != nil {
+			return
+		}
+		// An accepted artifact must have seeded exactly its distinct keys.
+		if got := c.runs.Len(); got != len(a.Runs) {
+			t.Fatalf("accepted artifact with %d runs seeded %d entries", len(a.Runs), got)
 		}
 	})
 }

@@ -3,14 +3,21 @@
 #
 #   go vet           static checks
 #   go build         tier-1, part 1
-#   go test -race    tier-1, part 2, with the race detector: the parallel
-#                    execution engine (internal/exec and everything wired
-#                    through it) must be data-race-free at every -j
+#   go test -race    tier-1, part 2, with the race detector (and -cover:
+#                    the parallel execution engine must be data-race-free
+#                    at every -j, and per-package statement coverage is
+#                    appended to BENCH_shard.json so the test-quality
+#                    trajectory is tracked alongside the perf one)
 #   bench smoke      one iteration of the cheap benchmarks, so the
 #                    benchmark harness itself cannot rot
 #   shard smoke      the distributed protocol end to end through real
 #                    binaries: quickstart as 2 shards + merge must be
 #                    byte-identical to the unsharded run
+#   incremental      the incremental-campaign engine end to end: a warmed
+#                    re-run of the identical command reports an empty
+#                    delta, a one-flag mutation reports exactly the
+#                    mutated cells, `flit delta` agrees offline, and
+#                    `flit gc` prunes only the superseded generation
 #   bisect smoke     the speculative bisect engine end to end through a
 #                    real binary: the laghos-bisect example at -j 1 (the
 #                    paper's sequential probe order) and -j 8 (speculative)
@@ -26,18 +33,62 @@ set -eux
 
 go vet ./...
 go build ./...
-go test -race ./...
+
+SHARD_TMP=$(mktemp -d)
+trap 'rm -rf "$SHARD_TMP"' EXIT
+
+# Race + coverage in one pass; the log is parsed for the coverage record
+# below (a pipe would hide go test's exit status under plain sh).
+go test -race -cover ./... >"$SHARD_TMP/cover.txt"
+cat "$SHARD_TMP/cover.txt"
+{
+	printf '{"bench":"coverage","unix":%s,"packages":{' "$(date +%s)"
+	awk '/coverage:/ {
+		pct = ""
+		for (i = 1; i <= NF; i++) if ($i ~ /%$/) pct = $i
+		if (pct == "") next
+		sub(/%/, "", pct)
+		printf "%s\"%s\":%s", sep, $2, pct
+		sep = ","
+	}' "$SHARD_TMP/cover.txt"
+	printf '}}\n'
+} >>"$PWD/BENCH_shard.json"
+
 go test -run NONE -bench 'BenchmarkTable3CodeStats|BenchmarkMotivation' -benchtime 1x .
 
 # Shard-equivalence smoke: two shards + merge == unsharded, byte for byte.
-SHARD_TMP=$(mktemp -d)
-trap 'rm -rf "$SHARD_TMP"' EXIT
 go build -o "$SHARD_TMP/quickstart" ./examples/quickstart
 "$SHARD_TMP/quickstart" >"$SHARD_TMP/unsharded.txt"
 "$SHARD_TMP/quickstart" -shard 0/2 -shard-out "$SHARD_TMP/s0.json"
 "$SHARD_TMP/quickstart" -shard 1/2 -shard-out "$SHARD_TMP/s1.json"
 "$SHARD_TMP/quickstart" -merge "$SHARD_TMP/s0.json,$SHARD_TMP/s1.json" >"$SHARD_TMP/merged.txt"
 diff "$SHARD_TMP/unsharded.txt" "$SHARD_TMP/merged.txt"
+
+# Incremental-campaign smoke. Generation 1 of the quickstart campaign,
+# then a re-run with one mutated compiler flag (-unroll moves the plain
+# g++ -O3 row): the warm-started run must report exactly one new and one
+# dropped cell — the mutated compilation — and name the flag in the
+# report. A same-command second generation must diff empty offline via
+# `flit delta`, and `flit gc` must prune only the superseded generation —
+# never a file the -warm-start manifest still references.
+go build -o "$SHARD_TMP/flit" ./cmd/flit
+ART_DIR="$SHARD_TMP/campaign"
+mkdir -p "$ART_DIR"
+"$SHARD_TMP/quickstart" -shard 0/1 -shard-out "$ART_DIR/gen1.json"
+"$SHARD_TMP/quickstart" -unroll -warm-start "$ART_DIR/gen1.json" \
+	-delta-out "$SHARD_TMP/delta.json" >"$SHARD_TMP/delta.txt"
+grep 'delta: new=1 dropped=1 changed=0' "$SHARD_TMP/delta.txt"
+grep funroll-loops "$SHARD_TMP/delta.json" >/dev/null
+"$SHARD_TMP/quickstart" -shard 0/1 -shard-out "$ART_DIR/gen2.json"
+"$SHARD_TMP/flit" delta -baseline "$ART_DIR/gen1.json" "$ART_DIR/gen2.json" \
+	>"$SHARD_TMP/delta-same.txt"
+grep 'delta: new=0 dropped=0 changed=0' "$SHARD_TMP/delta-same.txt"
+"$SHARD_TMP/flit" gc -dir "$ART_DIR" -keep 1 -dry-run -warm-start "$ART_DIR/gen1.json" \
+	| grep "protected $ART_DIR/gen1.json"
+test -f "$ART_DIR/gen1.json"
+"$SHARD_TMP/flit" gc -dir "$ART_DIR" -keep 1 | grep "pruned $ART_DIR/gen1.json"
+test ! -f "$ART_DIR/gen1.json"
+test -f "$ART_DIR/gen2.json"
 
 # Speculative-bisect smoke: j1 vs j8 through a real binary, byte for byte.
 go build -o "$SHARD_TMP/laghos-bisect" ./examples/laghos-bisect
