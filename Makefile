@@ -53,11 +53,13 @@ incremental-smoke:
 	test ! -f $$tmp/gen1.json && test -f $$tmp/gen2.json && \
 	echo "incremental smoke: delta exact, gc pruned the stale generation"
 
-# One iteration of the engine sweep benchmark, appending its timings to
-# BENCH_shard.json (the recorded perf trajectory of the engine).
+# One iteration of the engine benchmarks, appending their timings to
+# BENCH_shard.json (the recorded perf trajectory of the engine). The warm
+# benches also enforce the key-first contract: a fully covered re-run is
+# byte-identical with zero executables built.
 bench-shard:
 	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard.json \
-		$(GO) test -run NONE -bench BenchmarkParallelEngineSweep -benchtime 1x .
+		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath' -benchtime 1x .
 
 # The full benchmark suite regenerates every table and figure of the paper
 # and times the parallel engine (BenchmarkParallelEngineSweep).

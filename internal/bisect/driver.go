@@ -133,10 +133,12 @@ type Search struct {
 	Shard exec.Shard
 }
 
-// runAll executes the search's test against an executable through the
-// build/run cache when one is configured.
-func (s *Search) runAll(ex *link.Executable) (flit.Result, error) {
-	return s.Cache.RunAll(s.Test, ex)
+// runPlanned executes the search's test against a lazily-materialized
+// build plan through the build/run cache: memoized probes — within this
+// search, across searches, or seeded from a warm-start artifact — replay
+// without linking the plan at all.
+func (s *Search) runPlanned(b *link.Builder) (flit.Result, error) {
+	return s.Cache.RunAllPlanned(s.Test, b)
 }
 
 // Run performs File Bisect followed by Symbol Bisect inside each found file
@@ -145,11 +147,7 @@ func (s *Search) runAll(ex *link.Executable) (flit.Result, error) {
 // died), while crashes during a file's Symbol Bisect are recorded in that
 // file's status and the search continues with the next file.
 func (s *Search) Run() (*Report, error) {
-	baseEx, err := link.FullBuild(s.Prog, s.Baseline)
-	if err != nil {
-		return nil, err
-	}
-	baseRes, err := s.runAll(baseEx)
+	baseRes, err := s.runPlanned(link.NewBuilder(link.FullBuildPlan(s.Prog, s.Baseline)))
 	if err != nil {
 		return nil, fmt.Errorf("bisect: baseline execution failed: %w", err)
 	}
@@ -161,11 +159,7 @@ func (s *Search) Run() (*Report, error) {
 	sub := s.Pool.Submitter()
 	report := &Report{}
 	fileSearch := NewSpeculativeSearcher(func(files []string) (float64, error) {
-		ex, err := link.FileMixBuild(s.Prog, s.Baseline, s.Variable, files)
-		if err != nil {
-			return 0, err
-		}
-		got, err := s.runAll(ex)
+		got, err := s.runPlanned(link.NewBuilder(link.FileMixPlan(s.Prog, s.Baseline, s.Variable, files)))
 		if err != nil {
 			return 0, err
 		}
@@ -253,13 +247,8 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, sub *e
 	// The -fPIC probe: rebuild the whole file with -fPIC under the
 	// variable compilation; if the variability disappears the optimization
 	// needed translation-unit-wide freedom and the search must stop here.
-	probeEx, err := link.FPICProbeBuild(s.Prog, s.Baseline, s.Variable, finding.File)
-	if err != nil {
-		finding.Status = SymbolsCrashed
-		return 0, 0
-	}
 	execs := 1 // the probe run
-	probeRes, err := s.runAll(probeEx)
+	probeRes, err := s.runPlanned(link.NewBuilder(link.FPICProbePlan(s.Prog, s.Baseline, s.Variable, finding.File)))
 	if err != nil {
 		finding.Status = SymbolsCrashed
 		return execs, 0
@@ -280,11 +269,7 @@ func (s *Search) searchSymbols(finding *FileFinding, baseRes flit.Result, sub *e
 	}
 
 	symSearch := NewSpeculativeSearcher(func(syms []string) (float64, error) {
-		ex, err := link.SymbolMixBuild(s.Prog, s.Baseline, s.Variable, syms)
-		if err != nil {
-			return 0, err
-		}
-		got, err := s.runAll(ex)
+		got, err := s.runPlanned(link.NewBuilder(link.SymbolMixPlan(s.Prog, s.Baseline, s.Variable, syms)))
 		if err != nil {
 			return 0, err
 		}

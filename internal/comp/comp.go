@@ -15,9 +15,11 @@
 package comp
 
 import (
-	"fmt"
 	"hash/fnv"
+	"math"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/fp"
 )
@@ -83,13 +85,68 @@ var keyEscaper = strings.NewReplacer("%", "%25", "|", "%7C", "=", "%3D", "\x00",
 // Key is a canonical identity string usable as a map key; it includes the
 // injection plan so injected and clean compilations never collide. Every
 // field is KeyEscape'd, so distinct compilations always have distinct keys.
+//
+// Keys are interned: the escape/concat serialization runs once per distinct
+// compilation value for the life of the process, and every further Key call
+// is a lookup returning the shared string. Build-plan keys concatenate one
+// compilation key per file or symbol override, and the result analyzers
+// (BestAverageCompilation, artifact export) key maps by compilation inside
+// O(tests × compilations) loops — interning turns all of that repeated
+// serialization into map hits. The intern table is keyed by value (an
+// injection plan is compared by contents, not by pointer), so the working
+// set is bounded by the number of distinct compilations a process ever
+// evaluates — a few thousand for the full matrix plus the injection
+// campaign.
 func (c Compilation) Key() string {
+	ik := internKey{c: c}
+	ik.c.Inject = nil
+	if c.Inject != nil {
+		ik.hasInj = true
+		ik.injSym = c.Inject.Symbol
+		ik.injIdx = c.Inject.Inj.OpIndex
+		ik.injOp = c.Inject.Inj.Op
+		ik.injEps = math.Float64bits(c.Inject.Inj.Eps)
+	}
+	if v, ok := keyInterns.Load(ik); ok {
+		return v.(string)
+	}
+	v, _ := keyInterns.LoadOrStore(ik, c.buildKey())
+	return v.(string)
+}
+
+// internKey is the comparable identity the key intern table is addressed
+// by: the compilation with its injection plan flattened from a pointer to
+// fields, so logically equal plans share one entry regardless of which
+// WithInjection call allocated them. The epsilon is identified by its
+// IEEE-754 bit pattern, exactly as the serialized key renders it — float
+// equality would conflate +0/-0 (equal under ==, distinct keys) and lose
+// NaN entries (never equal to themselves).
+type internKey struct {
+	c      Compilation
+	injSym string
+	injIdx int
+	injOp  fp.InjectOp
+	injEps uint64
+	hasInj bool
+}
+
+var keyInterns sync.Map // internKey -> string
+
+// buildKey serializes the compilation; Key memoizes it per distinct value.
+// The injection epsilon is rendered as its IEEE-754 bit pattern: exact (two
+// injections differing anywhere in the float have distinct keys, which a
+// rounded decimal rendering could not promise) and cheaper than reflective
+// formatting.
+func (c Compilation) buildKey() string {
 	k := KeyEscape(c.Compiler) + "|" + KeyEscape(c.OptLevel) + "|" + KeyEscape(c.Switches)
 	if c.FPIC {
 		k += "|fpic"
 	}
 	if c.Inject != nil {
-		k += "|inject=" + KeyEscape(c.Inject.Symbol) + "|" + KeyEscape(fmt.Sprint(c.Inject.Inj))
+		k += "|inject=" + KeyEscape(c.Inject.Symbol) +
+			"|" + strconv.Itoa(c.Inject.Inj.OpIndex) +
+			"|" + KeyEscape(string(byte(c.Inject.Inj.Op))) +
+			"|" + strconv.FormatUint(math.Float64bits(c.Inject.Inj.Eps), 16)
 	}
 	return k
 }

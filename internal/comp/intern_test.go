@@ -1,0 +1,94 @@
+package comp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fp"
+)
+
+// TestKeyInterning: Key returns the same (shared) string for equal
+// compilation values, including injection plans compared by contents
+// rather than by pointer — WithInjection allocates a fresh plan every
+// call, and the intern table must still collapse them.
+func TestKeyInterning(t *testing.T) {
+	c := Compilation{Compiler: GCC, OptLevel: "-O3", Switches: "-mavx2 -mfma"}
+	k1, k2 := c.Key(), c.Key()
+	if k1 != k2 {
+		t.Fatalf("keys differ: %q vs %q", k1, k2)
+	}
+	inj := fp.Injection{OpIndex: 3, Op: fp.InjMul, Eps: 0.421875}
+	a := c.WithInjection("Dot", inj)
+	b := c.WithInjection("Dot", inj)
+	if a.Inject == b.Inject {
+		t.Fatal("test premise broken: WithInjection shared a pointer")
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("value-equal injected compilations got distinct keys:\n%q\n%q", a.Key(), b.Key())
+	}
+	if a.Key() != a.buildKey() {
+		t.Fatalf("interned key %q != serialized key %q", a.Key(), a.buildKey())
+	}
+}
+
+// TestInjectedKeyExactEpsilon: epsilons that agree to three significant
+// digits — which a rounded decimal rendering would conflate — and signed
+// zeros and NaN payloads all keep distinct keys, because the key carries
+// the IEEE-754 bit pattern.
+func TestInjectedKeyExactEpsilon(t *testing.T) {
+	c := Compilation{Compiler: Clang, OptLevel: "-O2"}
+	pairs := [][2]float64{
+		{0.1234567, 0.1234568},
+		{0.5, math.Nextafter(0.5, 1)},
+		{0.0, math.Copysign(0, -1)},
+		{math.NaN(), math.Float64frombits(math.Float64bits(math.NaN()) ^ 2)},
+	}
+	for _, p := range pairs {
+		ka := c.WithInjection("S", fp.Injection{OpIndex: 1, Op: fp.InjAdd, Eps: p[0]}).Key()
+		kb := c.WithInjection("S", fp.Injection{OpIndex: 1, Op: fp.InjAdd, Eps: p[1]}).Key()
+		if ka == kb {
+			t.Errorf("eps %v and %v collided on key %q", p[0], p[1], ka)
+		}
+	}
+	// Determinism across repeated calls, NaN included (NaN defeats ==, so
+	// the intern table must address it by bits, not by float equality).
+	n := c.WithInjection("S", fp.Injection{OpIndex: 0, Op: fp.InjDiv, Eps: math.NaN()})
+	if n.Key() != n.Key() {
+		t.Error("NaN-epsilon key not deterministic")
+	}
+}
+
+// TestInjectedKeyEscapesOpByte: the injected operation byte is free-form
+// (fp.InjectOp is a byte); structural characters in it must not break the
+// key format.
+func TestInjectedKeyEscapesOpByte(t *testing.T) {
+	c := Compilation{Compiler: GCC, OptLevel: "-O2"}
+	hostile := c.WithInjection("S", fp.Injection{OpIndex: 0, Op: fp.InjectOp('|'), Eps: 0.5})
+	clean := c.WithInjection("S", fp.Injection{OpIndex: 0, Op: fp.InjAdd, Eps: 0.5})
+	if hostile.Key() == clean.Key() {
+		t.Fatal("hostile op byte collided with a clean one")
+	}
+	if strings.Count(hostile.Key(), "|") != strings.Count(clean.Key(), "|") {
+		t.Fatalf("op byte leaked a structural '|' into %q", hostile.Key())
+	}
+}
+
+// TestKeyDistinguishesInjectionFields: every field of an injection plan is
+// identity-bearing.
+func TestKeyDistinguishesInjectionFields(t *testing.T) {
+	c := Compilation{Compiler: ICPC, OptLevel: "-O1"}
+	base := c.WithInjection("S", fp.Injection{OpIndex: 1, Op: fp.InjAdd, Eps: 0.25})
+	for name, other := range map[string]Compilation{
+		"clean":     c,
+		"symbol":    c.WithInjection("T", fp.Injection{OpIndex: 1, Op: fp.InjAdd, Eps: 0.25}),
+		"op-index":  c.WithInjection("S", fp.Injection{OpIndex: 2, Op: fp.InjAdd, Eps: 0.25}),
+		"operation": c.WithInjection("S", fp.Injection{OpIndex: 1, Op: fp.InjSub, Eps: 0.25}),
+		"epsilon":   c.WithInjection("S", fp.Injection{OpIndex: 1, Op: fp.InjAdd, Eps: 0.375}),
+		"fpic":      base.WithFPIC(),
+	} {
+		if other.Key() == base.Key() {
+			t.Errorf("%s variant shares key %q", name, base.Key())
+		}
+	}
+}

@@ -46,10 +46,9 @@ func (e *Engine) MPIStudy(np, repeats int) ([]MPIRow, error) {
 		return nil, err
 	}
 	p := mfem.Program()
-	baseEx, err := link.FullBuild(p, comp.Baseline())
-	if err != nil {
-		return nil, err
-	}
+	// One shared lazy baseline build: the cached probes below never link it,
+	// and the uncached determinism repeats materialize it exactly once.
+	baseB := link.NewBuilder(link.FullBuildPlan(p, comp.Baseline()))
 	examples := []int{2, 4, 5, 7, 8, 14, 17}
 	return exec.Map(e.pool, len(examples), func(i int) (MPIRow, error) {
 		exN := examples[i]
@@ -57,11 +56,17 @@ func (e *Engine) MPIStudy(np, repeats int) ([]MPIRow, error) {
 		parCase := seqCase.WithProcs(np)
 		row := MPIRow{Example: exN}
 
-		seq, err := e.cache.RunAll(seqCase, baseEx)
+		seq, err := e.cache.RunAllPlanned(seqCase, baseB)
 		if err != nil {
 			return row, err
 		}
-		first, err := e.cache.RunAll(parCase, baseEx)
+		first, err := e.cache.RunAllPlanned(parCase, baseB)
+		if err != nil {
+			return row, err
+		}
+		// The repeated-determinism probe deliberately bypasses the cache,
+		// so it needs the real executable.
+		baseEx, err := baseB.Build()
 		if err != nil {
 			return row, err
 		}

@@ -24,7 +24,10 @@ const ArtifactVersion = 1
 // merge rejects artifacts from any other engine version, because replaying
 // foreign results as if they were local computations would silently violate
 // the byte-identity guarantee.
-const EngineVersion = "flit-engine/2"
+// (v3: injected-compilation cache keys render the epsilon as its IEEE-754
+// bit pattern instead of a rounded decimal, so artifacts from earlier
+// engines address injected cells by strings this build never produces.)
+const EngineVersion = "flit-engine/3"
 
 // Artifact is the self-describing result of one shard of a distributed
 // run: every build/run result and cost-model value the shard computed,
@@ -130,7 +133,13 @@ func (c *Cache) Export(shard exec.Shard, command []string) *Artifact {
 	c.runs.Each(func(key string, v runVal, _ error) {
 		a.Runs = append(a.Runs, recordOf(key, v))
 	})
-	c.costs.Each(func(key string, v float64, _ error) {
+	c.costs.Each(func(key string, v float64, err error) {
+		if err != nil {
+			// A cost entry can memoize a build error (key-first CostPlanned
+			// on an unbuildable plan); exporting it would seed a future run
+			// with a spurious zero-cost success.
+			return
+		}
 		a.Costs = append(a.Costs, CostRecord{Key: key, Cost: math.Float64bits(v)})
 	})
 	sort.Slice(a.Runs, func(i, j int) bool { return a.Runs[i].Key < a.Runs[j].Key })

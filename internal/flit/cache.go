@@ -1,6 +1,8 @@
 package flit
 
 import (
+	"sync/atomic"
+
 	"repro/internal/comp"
 	"repro/internal/exec"
 	"repro/internal/link"
@@ -42,9 +44,22 @@ func RunKey(ex *link.Executable, t TestCase) string {
 	return ex.Key() + "\x00" + comp.KeyEscape(TestKey(t))
 }
 
+// PlanRunKey is RunKey computed from an unbuilt plan: link.Plan.Key
+// produces the exact string Executable.Key would after linking (pinned by
+// FuzzPlanKeyMatchesExecutableKey), so the key-first lookups address the
+// same cache entries — and the same artifact records — as the eager path.
+func PlanRunKey(b *link.Builder, t TestCase) string {
+	return b.Key() + "\x00" + comp.KeyEscape(TestKey(t))
+}
+
 // costKey addresses the memoized cost model per (executable, root symbol).
 func costKey(ex *link.Executable, root string) string {
 	return ex.Key() + "\x00" + comp.KeyEscape(root)
+}
+
+// planCostKey is costKey computed from an unbuilt plan.
+func planCostKey(b *link.Builder, root string) string {
+	return b.Key() + "\x00" + comp.KeyEscape(root)
 }
 
 type runVal struct {
@@ -65,6 +80,15 @@ type runVal struct {
 type Cache struct {
 	runs  *exec.Cache[runVal]
 	costs *exec.Cache[float64]
+
+	// Key-first build accounting: builds counts plans the key-first API
+	// actually materialized (at most once per Builder, however many lookups
+	// shared it); skippedBuilds counts builders that served at least one
+	// cache hit while still unmaterialized — the executables a warm or
+	// warm-started run never constructed. Fully covered runs show
+	// builds == 0; the CLI surfaces both under -stats.
+	builds        atomic.Int64
+	skippedBuilds atomic.Int64
 }
 
 // NewCache returns an empty, unbounded build/run cache.
@@ -106,6 +130,81 @@ func (c *Cache) Cost(ex *link.Executable, root string) float64 {
 	return v
 }
 
+// RunAllPlanned is the key-first form of RunAll: the cache is consulted by
+// plan identity (PlanRunKey — the string a built Executable's RunKey would
+// be), and the plan is materialized through the builder only on a miss. A
+// warm hit therefore runs no link step, no ABI-hazard scan, and no test —
+// the fast path every covered cell of a warm-started campaign takes.
+// Errors, whether from the build or the run, are memoized like the eager
+// path's: a deterministic toolchain fails the same way every time.
+func (c *Cache) RunAllPlanned(t TestCase, b *link.Builder) (Result, error) {
+	if c == nil {
+		ex, err := b.Build()
+		if err != nil {
+			return Result{}, err
+		}
+		return RunAll(t, ex)
+	}
+	hit := true
+	v, _ := c.runs.Do(PlanRunKey(b, t), func() (runVal, error) {
+		hit = false
+		ex, err := b.Build()
+		if err != nil {
+			return runVal{err: err}, nil
+		}
+		r, err := RunAll(t, ex)
+		return runVal{res: r, err: err}, nil
+	})
+	c.noteBuilder(b, hit)
+	return v.res, v.err
+}
+
+// CostPlanned is the key-first form of Cost: looked up by plan identity,
+// materializing (and surfacing a build error) only on a miss.
+func (c *Cache) CostPlanned(b *link.Builder, root string) (float64, error) {
+	if c == nil {
+		ex, err := b.Build()
+		if err != nil {
+			return 0, err
+		}
+		return ex.Cost(root), nil
+	}
+	hit := true
+	v, err := c.costs.Do(planCostKey(b, root), func() (float64, error) {
+		hit = false
+		ex, err := b.Build()
+		if err != nil {
+			return 0, err
+		}
+		return ex.Cost(root), nil
+	})
+	c.noteBuilder(b, hit)
+	return v, err
+}
+
+// noteBuilder folds one key-first lookup into the build counters, charging
+// each builder at most once per side.
+func (c *Cache) noteBuilder(b *link.Builder, hit bool) {
+	if b.Built() {
+		if b.MarkBuildCounted() {
+			c.builds.Add(1)
+		}
+		return
+	}
+	if hit && b.MarkSkipCounted() {
+		c.skippedBuilds.Add(1)
+	}
+}
+
+// BuildStats reports how many plans the key-first API materialized and how
+// many builders were answered from the cache without ever linking.
+func (c *Cache) BuildStats() (builds, skipped int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.builds.Load(), c.skippedBuilds.Load()
+}
+
 // RunEntry is one memoized run with its provenance: the serialized record,
 // whether the value was seeded from an artifact (vs computed by this
 // process), and how many times the cache answered a request with it. The
@@ -137,10 +236,16 @@ func (c *Cache) Stats() (hits, misses int64) {
 	return c.runs.Stats()
 }
 
-// CacheMetrics snapshots both stores of a build/run cache.
+// CacheMetrics snapshots both stores of a build/run cache, plus the
+// key-first build accounting: Builds counts plans actually materialized
+// through RunAllPlanned/CostPlanned, SkippedBuilds the builders whose every
+// consulted entry was already cached — executables a warm run never
+// constructed.
 type CacheMetrics struct {
-	Runs  exec.Metrics
-	Costs exec.Metrics
+	Runs          exec.Metrics
+	Costs         exec.Metrics
+	Builds        int64
+	SkippedBuilds int64
 }
 
 // Metrics snapshots hit/miss/eviction counters and occupancy of both
@@ -149,5 +254,10 @@ func (c *Cache) Metrics() CacheMetrics {
 	if c == nil {
 		return CacheMetrics{}
 	}
-	return CacheMetrics{Runs: c.runs.Metrics(), Costs: c.costs.Metrics()}
+	return CacheMetrics{
+		Runs:          c.runs.Metrics(),
+		Costs:         c.costs.Metrics(),
+		Builds:        c.builds.Load(),
+		SkippedBuilds: c.skippedBuilds.Load(),
+	}
 }

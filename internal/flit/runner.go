@@ -71,19 +71,25 @@ func (s *Suite) refComp() comp.Compilation {
 	return s.Reference
 }
 
-// BaselineResult computes (once) the trusted result for one test.
+// BaselineResult computes (once) the trusted result for one test. The
+// lookup is key-first: a cached or seeded baseline run never rebuilds the
+// baseline executable.
 func (s *Suite) BaselineResult(t TestCase) (Result, error) {
-	ex, err := link.FullBuild(s.Prog, s.Baseline)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Cache.RunAll(t, ex)
+	return s.Cache.RunAllPlanned(t, link.NewBuilder(link.FullBuildPlan(s.Prog, s.Baseline)))
 }
 
 // RunMatrix executes every test under every compilation, comparing each
 // result against the baseline compilation's result. Full builds are never
 // object-file mixes, so they cannot segfault; an error in a cell is
 // recorded, not fatal.
+//
+// Execution is key-first: every cell (and the shared baseline and
+// reference builds) is a lazily-materialized plan, looked up in the Cache
+// by plan key before anything links. A cached or warm-started cell replays
+// its memoized result with zero build work — no plan validation, no
+// ABI-hazard scan, no Executable, no cost-model traversal — which is what
+// makes re-running a warmed campaign proportional to the cells an edit
+// actually invalidated.
 //
 // With a Pool on the suite the compilations evaluate concurrently — each
 // cell is an independent build/run pair, the paper's massively parallel
@@ -99,10 +105,8 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 		baseNorm: make(map[string]float64, len(s.Tests)),
 		refTime:  make(map[string]float64, len(s.Tests)),
 	}
-	refEx, err := link.FullBuild(s.Prog, s.refComp())
-	if err != nil {
-		return nil, fmt.Errorf("flit: building reference: %w", err)
-	}
+	refB := link.NewBuilder(link.FullBuildPlan(s.Prog, s.refComp()))
+	baseB := link.NewBuilder(link.FullBuildPlan(s.Prog, s.Baseline))
 	type baseVal struct {
 		res     Result
 		norm    float64
@@ -113,14 +117,19 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 	// would corrupt the Variable classification of sharded Results (and
 	// with it every consumer that selects work from them, e.g. Table 2's
 	// variable-pair selection). They are O(tests) against the O(tests ×
-	// compilations) cells the shard actually partitions.
+	// compilations) cells the shard actually partitions — and behind the
+	// shared builders they are one build each, at most, across all tests.
 	bases, err := exec.Map(s.Pool, len(s.Tests), func(i int) (baseVal, error) {
 		t := s.Tests[i]
-		base, err := s.BaselineResult(t)
+		base, err := s.Cache.RunAllPlanned(t, baseB)
 		if err != nil {
 			return baseVal{}, fmt.Errorf("flit: baseline run of %s: %w", t.Name(), err)
 		}
-		return baseVal{res: base, norm: base.Norm(), refTime: s.Cache.Cost(refEx, t.Root())}, nil
+		refTime, err := s.Cache.CostPlanned(refB, t.Root())
+		if err != nil {
+			return baseVal{}, fmt.Errorf("flit: building reference: %w", err)
+		}
+		return baseVal{res: base, norm: base.Norm(), refTime: refTime}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -134,14 +143,16 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 	cells, err := exec.Map(s.Pool, len(ownCells), func(k int) ([]RunResult, error) {
 		ci := ownCells[k]
 		c := matrix[ci]
-		ex, err := link.FullBuild(s.Prog, c)
-		if err != nil {
-			return nil, fmt.Errorf("flit: building %s: %w", c, err)
-		}
+		cellB := link.NewBuilder(link.FullBuildPlan(s.Prog, c))
 		row := make([]RunResult, len(s.Tests))
 		for ti, t := range s.Tests {
-			rr := RunResult{Test: t.Name(), Comp: c, Time: s.Cache.Cost(ex, t.Root())}
-			got, err := s.Cache.RunAll(t, ex)
+			rr := RunResult{Test: t.Name(), Comp: c}
+			cost, err := s.Cache.CostPlanned(cellB, t.Root())
+			if err != nil {
+				return nil, fmt.Errorf("flit: building %s: %w", c, err)
+			}
+			rr.Time = cost
+			got, err := s.Cache.RunAllPlanned(t, cellB)
 			if err != nil {
 				rr.Err = err
 			} else {
@@ -159,9 +170,15 @@ func (s *Suite) RunMatrix(matrix []comp.Compilation) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range cells {
-		for _, rr := range row {
-			res.byTest[rr.Test] = append(res.byTest[rr.Test], rr)
+	// Row and column counts are known up front, so the per-test views are
+	// allocated exactly once and filled by index — no per-cell append/grow
+	// over the O(tests × compilations) result space.
+	for _, t := range s.Tests {
+		res.byTest[t.Name()] = make([]RunResult, len(cells))
+	}
+	for k, row := range cells {
+		for ti, rr := range row {
+			res.byTest[s.Tests[ti].Name()][k] = rr
 		}
 	}
 	return res, nil

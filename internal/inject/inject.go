@@ -130,22 +130,15 @@ func (s *Study) RunOne(site Site, op fp.InjectOp) RunReport {
 	injected := s.Baseline.WithInjection(site.Symbol,
 		fp.Injection{OpIndex: site.OpIndex, Op: op, Eps: rep.Eps})
 
-	baseEx, err := link.FullBuild(s.Prog, s.Baseline)
+	// Key-first: the clean-baseline detection run — repeated by every
+	// injection of the campaign — and the injected build both materialize
+	// only on a cache miss, so a warm-started campaign re-links neither.
+	baseRes, err := s.Cache.RunAllPlanned(s.Test, link.NewBuilder(link.FullBuildPlan(s.Prog, s.Baseline)))
 	if err != nil {
 		rep.Err = err
 		return rep
 	}
-	baseRes, err := s.Cache.RunAll(s.Test, baseEx)
-	if err != nil {
-		rep.Err = err
-		return rep
-	}
-	injEx, err := link.FullBuild(s.Prog, injected)
-	if err != nil {
-		rep.Err = err
-		return rep
-	}
-	injRes, err := s.Cache.RunAll(s.Test, injEx)
+	injRes, err := s.Cache.RunAllPlanned(s.Test, link.NewBuilder(link.FullBuildPlan(s.Prog, injected)))
 	if err != nil {
 		rep.Err = err
 		return rep

@@ -55,6 +55,66 @@ type Plan struct {
 	Driver string
 }
 
+// Key returns the canonical identity string of the executable this plan
+// would build — the exact string Executable.Key produces after Link — without
+// linking anything: no plan validation, no ABI-hazard scan, no Executable
+// allocation. It is what lets a build/run cache be consulted by plan
+// identity first and the build happen only on a miss. Plans with unknown
+// file or symbol names still serialize (Link would reject them; the key of
+// an unbuildable plan simply never matches a built one's). Prog must be
+// non-nil.
+func (p Plan) Key() string {
+	driver := p.Driver
+	if driver == "" {
+		driver = p.Baseline.Compiler
+	}
+	return planKey(p.Prog.Name, p.Baseline, driver, p.FileComp, p.SymbolComp)
+}
+
+// planKey serializes a build plan with every free-form component (program,
+// driver, file and symbol names) comp.KeyEscape'd and compilations rendered
+// through the equally escaped comp.Key, so no two distinct plans share a
+// key — the property the build/run cache and the shard-artifact merge rest
+// on, enforced by FuzzPlanKeyMatchesExecutableKey and the flit key fuzz
+// test. It is the single serializer behind both Plan.Key and
+// Executable.Key; driver must already be resolved (non-empty).
+func planKey(progName string, baseline comp.Compilation, driver string,
+	fileComp, symComp map[string]comp.Compilation) string {
+	var b strings.Builder
+	b.WriteString(comp.KeyEscape(progName))
+	b.WriteString("|base=")
+	b.WriteString(baseline.Key())
+	b.WriteString("|driver=")
+	b.WriteString(comp.KeyEscape(driver))
+	if len(fileComp) > 0 {
+		files := make([]string, 0, len(fileComp))
+		for f := range fileComp {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			b.WriteString("|f:")
+			b.WriteString(comp.KeyEscape(f))
+			b.WriteString("=")
+			b.WriteString(fileComp[f].Key())
+		}
+	}
+	if len(symComp) > 0 {
+		syms := make([]string, 0, len(symComp))
+		for s := range symComp {
+			syms = append(syms, s)
+		}
+		sort.Strings(syms)
+		for _, s := range syms {
+			b.WriteString("|s:")
+			b.WriteString(comp.KeyEscape(s))
+			b.WriteString("=")
+			b.WriteString(symComp[s].Key())
+		}
+	}
+	return b.String()
+}
+
 // Executable is a linked program image.
 type Executable struct {
 	prog     *prog.Program
@@ -147,45 +207,11 @@ func (e *Executable) Key() string {
 	return e.key
 }
 
-// buildKey serializes the plan with every free-form component (program,
-// driver, file and symbol names) comp.KeyEscape'd and compilations rendered
-// through the equally escaped comp.Key, so no two distinct plans share a
-// key — the property the build/run cache and the shard-artifact merge rest
-// on, enforced by the flit key fuzz test.
+// buildKey delegates to the plan serializer: an Executable's key IS its
+// plan's key (Plan.Key for the resolved-driver plan), which is what lets
+// key-first callers look a plan up in a cache seeded by built executables.
 func (e *Executable) buildKey() string {
-	var b strings.Builder
-	b.WriteString(comp.KeyEscape(e.prog.Name))
-	b.WriteString("|base=")
-	b.WriteString(e.baseline.Key())
-	b.WriteString("|driver=")
-	b.WriteString(comp.KeyEscape(e.driver))
-	if len(e.fileComp) > 0 {
-		files := make([]string, 0, len(e.fileComp))
-		for f := range e.fileComp {
-			files = append(files, f)
-		}
-		sort.Strings(files)
-		for _, f := range files {
-			b.WriteString("|f:")
-			b.WriteString(comp.KeyEscape(f))
-			b.WriteString("=")
-			b.WriteString(e.fileComp[f].Key())
-		}
-	}
-	if len(e.symComp) > 0 {
-		syms := make([]string, 0, len(e.symComp))
-		for s := range e.symComp {
-			syms = append(syms, s)
-		}
-		sort.Strings(syms)
-		for _, s := range syms {
-			b.WriteString("|s:")
-			b.WriteString(comp.KeyEscape(s))
-			b.WriteString("=")
-			b.WriteString(e.symComp[s].Key())
-		}
-	}
-	return b.String()
+	return planKey(e.prog.Name, e.baseline, e.driver, e.fileComp, e.symComp)
 }
 
 // Driver returns the linking compiler.

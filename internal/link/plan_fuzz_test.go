@@ -1,0 +1,155 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comp"
+	"repro/internal/fp"
+	"repro/internal/prog"
+)
+
+// fuzzPlanFrom assembles one build plan from free-form fuzz inputs: a
+// one-file program, a compilation (optionally carrying an injection whose
+// op byte and epsilon bits are fully attacker-chosen), one of the four
+// plan shapes the drivers use, and an optional explicit link driver.
+func fuzzPlanFrom(progName, file, sym, compiler, opt, sw, drv string,
+	mode uint8, inj bool, epsBits uint64) Plan {
+	p := prog.New(progName)
+	p.AddFile(file, &prog.Symbol{Name: sym, Exported: true, Work: 1, FPOps: 2})
+	c := comp.Compilation{Compiler: compiler, OptLevel: opt, Switches: sw}
+	if inj {
+		c = c.WithInjection(sym, fp.Injection{
+			OpIndex: int(mode),
+			Op:      fp.InjectOp(mode*7 + 43),
+			Eps:     math.Float64frombits(epsBits),
+		})
+	}
+	var plan Plan
+	switch mode % 4 {
+	case 0:
+		plan = FullBuildPlan(p, c)
+	case 1:
+		plan = FileMixPlan(p, comp.Baseline(), c, []string{file})
+	case 2:
+		plan = SymbolMixPlan(p, comp.Baseline(), c, []string{sym})
+	default:
+		plan = FPICProbePlan(p, comp.Baseline(), c, file)
+	}
+	plan.Driver = drv
+	return plan
+}
+
+// sameComp compares compilations with the epsilon of an injection compared
+// as IEEE-754 bits: NaN payloads and signed zeros are distinct plan
+// identities, exactly as the key renders them.
+func sameComp(a, b comp.Compilation) bool {
+	if a.Compiler != b.Compiler || a.OptLevel != b.OptLevel ||
+		a.Switches != b.Switches || a.FPIC != b.FPIC {
+		return false
+	}
+	if (a.Inject == nil) != (b.Inject == nil) {
+		return false
+	}
+	if a.Inject == nil {
+		return true
+	}
+	return a.Inject.Symbol == b.Inject.Symbol &&
+		a.Inject.Inj.OpIndex == b.Inject.Inj.OpIndex &&
+		a.Inject.Inj.Op == b.Inject.Inj.Op &&
+		math.Float64bits(a.Inject.Inj.Eps) == math.Float64bits(b.Inject.Inj.Eps)
+}
+
+// samePlan is the semantic identity Plan.Key must be injective over:
+// program name, baseline, resolved driver, and both override maps. Two
+// different tuples may legitimately assemble the same plan (e.g. a full
+// build and a file mix of the program's only file under the same
+// compilation); those must share a key, everything else must not.
+func samePlan(a, b Plan) bool {
+	if a.Prog.Name != b.Prog.Name || !sameComp(a.Baseline, b.Baseline) {
+		return false
+	}
+	da, db := a.Driver, b.Driver
+	if da == "" {
+		da = a.Baseline.Compiler
+	}
+	if db == "" {
+		db = b.Baseline.Compiler
+	}
+	if da != db || len(a.FileComp) != len(b.FileComp) || len(a.SymbolComp) != len(b.SymbolComp) {
+		return false
+	}
+	for f, c := range a.FileComp {
+		o, ok := b.FileComp[f]
+		if !ok || !sameComp(c, o) {
+			return false
+		}
+	}
+	for s, c := range a.SymbolComp {
+		o, ok := b.SymbolComp[s]
+		if !ok || !sameComp(c, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPlanKeyMatchesExecutableKey is the key-first safety net, in two
+// halves. Equality: for any plan the drivers could assemble, Plan.Key —
+// computed without linking — must equal the built Executable's Key, or a
+// key-first lookup would miss entries the eager path recorded (silently
+// re-executing) or, worse, hit a different plan's entry. Injectivity: two
+// semantically distinct plans must never serialize to the same key, even
+// with names and injection op bytes abusing the key format's structural
+// characters ('|', '=', '%', NUL) — comp.KeyEscape and the bit-pattern
+// epsilon rendering are what hold this.
+func FuzzPlanKeyMatchesExecutableKey(f *testing.F) {
+	f.Add("p", "f.cpp", "S", "g++", "-O2", "", "", uint8(0), false, uint64(0),
+		"g++", "-O2", "", "", uint8(0), false, uint64(0))
+	// Full build vs file mix of the only file under the same compilation:
+	// different constructors, same plan, keys must agree.
+	f.Add("p", "f.cpp", "S", "g++", "-O0", "", "", uint8(0), false, uint64(0),
+		"g++", "-O0", "", "", uint8(1), false, uint64(0))
+	// Structural-character abuse in every free-form field.
+	f.Add("p|base=x", "f=1.cpp", "S%7C", "g++|", "-O2=3", "a|b", "icpc",
+		uint8(2), false, uint64(0),
+		"g++", "-O2", "", "", uint8(2), false, uint64(0))
+	// Injections: epsilons differing only below three significant digits
+	// (the old rounded rendering collided these), hostile op bytes, NaN
+	// payloads, signed zero.
+	f.Add("p", "f.cpp", "S", "clang++", "-O3", "-mavx2", "", uint8(0), true,
+		math.Float64bits(0.1234567),
+		"clang++", "-O3", "-mavx2", "", uint8(0), true, math.Float64bits(0.1234568))
+	f.Add("p", "f.cpp", "S", "icpc", "-O1", "", "xlc++", uint8(3), true,
+		math.Float64bits(math.NaN()),
+		"icpc", "-O1", "", "xlc++", uint8(3), true, math.Float64bits(math.NaN())|1)
+	f.Add("p", "f.cpp", "S", "g++", "-O2", "", "", uint8(2), true,
+		math.Float64bits(0.0),
+		"g++", "-O2", "", "", uint8(2), true, math.Float64bits(math.Copysign(0, -1)))
+	// Explicit driver equal to the default vs defaulted: same plan.
+	f.Add("p", "f.cpp", "S", "g++", "-O3", "-mfma", "g++", uint8(0), false, uint64(0),
+		"g++", "-O3", "-mfma", "", uint8(0), false, uint64(0))
+	f.Fuzz(func(t *testing.T,
+		progName, file, sym string,
+		comp1, opt1, sw1, drv1 string, mode1 uint8, inj1 bool, eps1 uint64,
+		comp2, opt2, sw2, drv2 string, mode2 uint8, inj2 bool, eps2 uint64) {
+		p1 := fuzzPlanFrom(progName, file, sym, comp1, opt1, sw1, drv1, mode1, inj1, eps1)
+		p2 := fuzzPlanFrom(progName, file, sym, comp2, opt2, sw2, drv2, mode2, inj2, eps2)
+		k1, k2 := p1.Key(), p2.Key()
+		if samePlan(p1, p2) != (k1 == k2) {
+			t.Fatalf("samePlan=%v but key equality=%v:\n%q\n%q",
+				samePlan(p1, p2), k1 == k2, k1, k2)
+		}
+		for i, plan := range []Plan{p1, p2} {
+			ex, err := Link(plan)
+			if err != nil {
+				// A hostile symbol mix can collide file and symbol names;
+				// unbuildable plans have no executable key to match.
+				continue
+			}
+			if got := ex.Key(); got != plan.Key() {
+				t.Fatalf("plan %d: Executable.Key %q != Plan.Key %q", i, got, plan.Key())
+			}
+		}
+	})
+}

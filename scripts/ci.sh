@@ -22,11 +22,16 @@
 #                    real binary: the laghos-bisect example at -j 1 (the
 #                    paper's sequential probe order) and -j 8 (speculative)
 #                    must print byte-identical output
-#   bench shard      one iteration each of BenchmarkParallelEngineSweep and
-#                    BenchmarkSpeculativeBisect with BENCH_SHARD_JSON set,
-#                    appending this run's engine timings (cache, fan-out,
-#                    shard+merge, bisect j1/j8 + spec-execs) to
-#                    BENCH_shard.json — the recorded perf trajectory
+#   bench shard      one iteration each of BenchmarkParallelEngineSweep,
+#                    BenchmarkSpeculativeBisect, and BenchmarkWarmPath with
+#                    BENCH_SHARD_JSON set, appending this run's engine
+#                    timings (cache cold/warm, fan-out, shard+merge, bisect
+#                    j1/j8 + spec-execs, warm_sweep_sec +
+#                    warm_skipped_builds + cache_speedup_x) to
+#                    BENCH_shard.json — the recorded perf trajectory. The
+#                    warm benches also enforce the key-first contract:
+#                    byte-identical output with zero executables built and
+#                    zero run-cache misses on a fully covered re-run
 #
 # Run from the repository root: ./scripts/ci.sh
 set -eux
@@ -98,4 +103,4 @@ diff "$SHARD_TMP/laghos-j1.txt" "$SHARD_TMP/laghos-j8.txt"
 
 # Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
-	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect' -benchtime 1x .
+	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath' -benchtime 1x .
