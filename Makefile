@@ -59,7 +59,7 @@ incremental-smoke:
 # byte-identical with zero executables built.
 bench-shard:
 	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard.json \
-		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath' -benchtime 1x .
+		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore' -benchtime 1x .
 
 # The full benchmark suite regenerates every table and figure of the paper
 # and times the parallel engine (BenchmarkParallelEngineSweep).

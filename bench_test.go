@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flit"
 	"repro/internal/inject"
+	"repro/internal/store"
 )
 
 var printOnce sync.Map
@@ -478,6 +479,79 @@ func BenchmarkSpeculativeBisect(b *testing.B) {
 				"bisect_j1_sec":     j1.sec,
 				"bisect_j8_sec":     j8.sec,
 				"bisect_spec_execs": j8.spec,
+			}
+			if err := appendJSONLine(path, rec); err != nil {
+				b.Fatalf("BENCH_SHARD_JSON: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkPersistentStore times the on-disk run store's cross-process
+// warm path: a cold sweep writing through to a fresh store directory, then
+// a second engine — sharing nothing with the first but the directory, the
+// "new process tomorrow" scenario — re-rendering the sweep from disk. The
+// digests must match byte for byte and the warm engine must materialize
+// zero builds; unlike BenchmarkWarmPath there is no artifact export or
+// -warm-start manifest anywhere, the store alone carries the results.
+//
+// With BENCH_SHARD_JSON=path set, appends store_cold_sec / store_warm_sec /
+// store_hits alongside the other perf-trajectory records.
+func BenchmarkPersistentStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		openDisk := func() *store.Disk {
+			d, err := store.Open(dir, flit.EngineVersion)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}
+
+		cold := experiments.NewEngine(1)
+		cold.AttachStore(openDisk())
+		t0 := time.Now()
+		coldDigest, err := cold.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldSec := time.Since(t0).Seconds()
+		if m := cold.CacheMetrics(); m.Store.Puts == 0 {
+			b.Fatal("cold sweep persisted nothing")
+		}
+
+		warm := experiments.NewEngine(1)
+		warm.AttachStore(openDisk())
+		t0 = time.Now()
+		warmDigest, err := warm.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmSec := time.Since(t0).Seconds()
+
+		if coldDigest != warmDigest {
+			b.Fatal("store-warmed sweep digest differs from the cold run's")
+		}
+		m := warm.CacheMetrics()
+		if m.Builds != 0 {
+			b.Fatalf("store-warmed sweep materialized %d executables, want 0", m.Builds)
+		}
+		if m.Store.Hits == 0 {
+			b.Fatal("store-warmed sweep recorded no store hits")
+		}
+		b.ReportMetric(coldSec, "store-cold-sec")
+		b.ReportMetric(warmSec, "store-warm-sec")
+		b.ReportMetric(coldSec/warmSec, "store-warm-vs-cold-speedup-x")
+		b.ReportMetric(float64(m.Store.Hits), "store-hits")
+
+		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+			rec := map[string]any{
+				"bench":          "BenchmarkPersistentStore",
+				"engine":         flit.EngineVersion,
+				"unix":           time.Now().Unix(),
+				"store_cold_sec": coldSec,
+				"store_warm_sec": warmSec,
+				"store_hits":     m.Store.Hits,
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

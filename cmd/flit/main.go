@@ -13,6 +13,8 @@
 //	flit merge [-j N] shard0.json shard1.json ...
 //	flit delta -baseline a.json[,b.json...] [-delta-out report.json] new0.json ...
 //	flit gc -dir DIR [-keep N] [-dry-run] [-warm-start a.json,b.json]
+//	flit store stats -store DIR
+//	flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
 //
 // "sweep" renders the sampled end-to-end digest of every subsystem on a
 // fresh engine — the determinism witness the equivalence tests compare
@@ -45,6 +47,18 @@
 // version will do; covered evaluations become cache hits, everything else
 // is recomputed, and the output is byte-identical to a cold run.
 //
+// Persistence: -store DIR attaches an on-disk content-addressed run store
+// as the cache's second tier. Every in-memory miss consults the store by
+// plan key before building anything, and every fresh computation is
+// written through — so a second process pointed at the same DIR serves
+// covered evaluations with zero materialized builds, no -warm-start
+// manifest required. The store is fenced to this build's engine version
+// (a foreign store is rejected at startup), writes are atomic, and
+// corrupt or truncated entries are treated as misses and recomputed,
+// never replayed. `flit store stats` reports entry count, bytes, and
+// corruption; `flit store gc` prunes corrupt files and the oldest entries
+// down to -max-entries/-max-bytes.
+//
 // Incremental campaigns: with -warm-start in effect, -delta-out FILE
 // writes a structured DeltaReport after the run — which build/run keys are
 // new against the warmed baseline, which baseline keys were dropped, and
@@ -70,6 +84,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/flit"
+	"repro/internal/store"
 )
 
 func main() {
@@ -105,6 +120,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdDelta(args[1:], stdout, stderr)
 	case "gc":
 		err = cmdGc(args[1:], stdout, stderr)
+	case "store":
+		err = cmdStore(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -130,6 +147,8 @@ func usage(w io.Writer) {
   flit merge [-j N] shard0.json shard1.json ...
   flit delta -baseline a.json[,b.json...] [-delta-out report.json] new0.json ...
   flit gc -dir DIR [-keep N] [-dry-run] [-warm-start a.json,b.json]
+  flit store stats -store DIR
+  flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
 
 experiment names: table1 figure4 figure5 figure6 table2 table3 findings
   motivation table4 laghos-nan table5 mpi, or "sweep" for the sampled
@@ -150,6 +169,14 @@ evaluations to detect bit-exact divergence instead of trusting them.
 when warm-started) to stderr; -cache-cap M bounds resident run results
 with LRU eviction (0 = unbounded).
 
+-store DIR attaches a persistent on-disk run store as the cache's second
+tier: in-memory misses are answered from DIR before any build happens and
+fresh results are written through, so a later process pointed at the same
+DIR replays covered evaluations with zero builds and no -warm-start
+manifest. The store is fenced to this build's engine version; corrupt
+entries read as misses and are recomputed. "flit store stats" and "flit
+store gc" inspect and prune a store directory.
+
 "flit delta" diffs two artifact sets offline (no re-running): each set is
 validated like merge; "flit gc" prunes superseded artifact generations
 per (engine, command, shard) slot, keeping the newest -keep of each and
@@ -166,6 +193,7 @@ type cliOpts struct {
 	warmStart   *string
 	deltaOut    *string
 	deltaVerify *bool
+	storeDir    *string
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors back
@@ -186,6 +214,8 @@ func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *cliOpts) {
 			"write the run's DeltaReport vs the -warm-start baseline to FILE (JSON)"),
 		deltaVerify: fs.Bool("delta-verify", false,
 			"recompute baseline-covered evaluations and report bit-exact divergence instead of trusting them"),
+		storeDir: fs.String("store", "",
+			"persistent run-store directory: misses consult it before building, results are written through"),
 	}
 	return fs, o
 }
@@ -264,6 +294,9 @@ func (o *cliOpts) engine() (*experiments.Engine, error) {
 	}
 	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
 	eng.SetShard(shard)
+	if err := o.attachStore(eng); err != nil {
+		return nil, err
+	}
 	if *o.warmStart != "" && *o.cacheCap <= 0 {
 		// Warm starts track provenance: -stats can then summarize the
 		// delta, and -delta-out can write the structured report. Not under
@@ -289,6 +322,26 @@ func (o *cliOpts) checkDeltaFlags() error {
 	if (*o.deltaOut != "" || *o.deltaVerify) && *o.cacheCap > 0 {
 		return errors.New("-delta-out/-delta-verify cannot be combined with -cache-cap (evicted entries would be misreported as dropped)")
 	}
+	if *o.deltaVerify && *o.storeDir != "" {
+		// Verify mode exists to recompute covered evaluations; a store hit
+		// would replay a persisted value and report it as a recomputation.
+		return errors.New("-delta-verify cannot be combined with -store (store hits would replay results instead of recomputing them)")
+	}
+	return nil
+}
+
+// attachStore opens the -store directory (creating it if absent, rejecting
+// one fenced to a different engine version or layout) and attaches it as
+// the engine cache's persistent second tier. A no-op without -store.
+func (o *cliOpts) attachStore(eng *experiments.Engine) error {
+	if *o.storeDir == "" {
+		return nil
+	}
+	d, err := store.Open(*o.storeDir, flit.EngineVersion)
+	if err != nil {
+		return err
+	}
+	eng.AttachStore(d)
 	return nil
 }
 
@@ -356,6 +409,13 @@ func printStats(eng *experiments.Engine, w io.Writer) {
 	// from the cache without ever materializing — on a fully warm-started
 	// run, builds=0 and every covered cell lands in skipped-builds.
 	fmt.Fprintf(w, "builds: materialized=%d skipped-builds=%d\n", m.Builds, m.SkippedBuilds)
+	if m.Store.Enabled {
+		// The persistent tier's traffic: hits are evaluations answered from
+		// disk without building; errors count undecodable entries and failed
+		// write-throughs (a store that is rotting or has stopped persisting).
+		fmt.Fprintf(w, "store: hits=%d misses=%d puts=%d errors=%d\n",
+			m.Store.Hits, m.Store.Misses, m.Store.Puts, m.Store.Errors)
+	}
 	// paper-execs is the Tables 2/4 cost measure and is identical at every
 	// -j; spec-execs is the speculative extra (timing-dependent) those
 	// searches spent to finish sooner.
@@ -531,6 +591,13 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	eng := experiments.NewEngineCap(*o.j, *o.cacheCap)
+	// -store composes with merge: any evaluation the shard set does not
+	// cover is answered from (and written through to) the store. Imported
+	// shard results themselves are never written through — they are seeds,
+	// not computations of this process.
+	if err := o.attachStore(eng); err != nil {
+		return err
+	}
 	if err := eng.ImportArtifacts(arts...); err != nil {
 		return err
 	}
@@ -676,6 +743,80 @@ func cmdGc(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 	return plan.Apply()
+}
+
+// cmdStore inspects and maintains a persistent run-store directory:
+// "stats" scans it and reports entry count, bytes, and corruption;
+// "gc" prunes corrupt files first, then the oldest entries, down to
+// -max-entries/-max-bytes. Both open the store with this build's engine
+// fence, so a foreign store is rejected rather than misreported.
+func cmdStore(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return errors.New(`store requires a subcommand: "stats" or "gc"`)
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "stats":
+		fs := flag.NewFlagSet("store stats", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		dir := fs.String("store", "", "run-store directory (required)")
+		if err := parseFlags(fs, rest); err != nil {
+			return err
+		}
+		if *dir == "" {
+			return errors.New("store stats requires -store DIR")
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("store stats takes no positional arguments (got %q)", fs.Args())
+		}
+		d, err := store.Open(*dir, flit.EngineVersion)
+		if err != nil {
+			return err
+		}
+		st, err := d.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "store %s: engine=%s entries=%d bytes=%d corrupt=%d\n",
+			d.Dir(), st.Engine, st.Entries, st.Bytes, st.Corrupt)
+		return nil
+	case "gc":
+		fs := flag.NewFlagSet("store gc", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		dir := fs.String("store", "", "run-store directory (required)")
+		maxEntries := fs.Int("max-entries", 0, "keep at most N entries, oldest pruned first (0 = unlimited)")
+		maxBytes := fs.Int64("max-bytes", 0, "keep at most N payload bytes (0 = unlimited)")
+		dryRun := fs.Bool("dry-run", false, "plan and report only; delete nothing")
+		if err := parseFlags(fs, rest); err != nil {
+			return err
+		}
+		if *dir == "" {
+			return errors.New("store gc requires -store DIR")
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("store gc takes no positional arguments (got %q)", fs.Args())
+		}
+		d, err := store.Open(*dir, flit.EngineVersion)
+		if err != nil {
+			return err
+		}
+		res, err := d.GC(*maxEntries, *maxBytes, !*dryRun)
+		if err != nil {
+			return err
+		}
+		verb := "pruned"
+		if *dryRun {
+			verb = "would prune"
+		}
+		for _, p := range res.Pruned {
+			fmt.Fprintf(stdout, "%s %s\n", verb, p)
+		}
+		fmt.Fprintf(stdout, "store gc: kept=%d %s=%d (%d bytes, %d corrupt)\n",
+			res.Kept, strings.ReplaceAll(verb, " ", "-"), len(res.Pruned), res.PrunedBytes, res.Corrupt)
+		return nil
+	default:
+		return fmt.Errorf(`unknown store subcommand %q (want "stats" or "gc")`, sub)
+	}
 }
 
 func runExperiment(eng *experiments.Engine, name string, w io.Writer) error {

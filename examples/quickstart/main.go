@@ -17,6 +17,13 @@
 //
 //	quickstart -shard 0/1 -shard-out base.json
 //	quickstart -unroll -warm-start base.json -delta-out delta.json
+//
+// ... and the persistent one: -store DIR attaches an on-disk run store, so
+// a second quickstart process pointed at the same DIR answers every
+// covered evaluation from disk — no artifact plumbing at all:
+//
+//	quickstart -store ./cache    # computes, writes through
+//	quickstart -store ./cache    # identical output, zero builds
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/prog"
+	"repro/internal/store"
 )
 
 // Step 1: describe your "source tree". One file, two functions: a dot
@@ -89,6 +97,7 @@ type opts struct {
 	warmStart string // comma-separated artifacts that seed the cache
 	deltaOut  string // DeltaReport file a warm-started run writes
 	unroll    bool   // mutate the matrix (incremental-campaign demo)
+	store     string // persistent run-store directory
 }
 
 func main() {
@@ -100,6 +109,8 @@ func main() {
 	flag.StringVar(&o.deltaOut, "delta-out", "", "write the run's DeltaReport vs the -warm-start baseline to FILE")
 	flag.BoolVar(&o.unroll, "unroll", false,
 		"mutate the matrix: the plain g++ -O3 row becomes g++ -O3 -funroll-loops (incremental-campaign demo)")
+	flag.StringVar(&o.store, "store", "",
+		"persistent run-store directory: misses consult it before building, results are written through")
 	flag.Parse()
 	if err := cli(o, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -125,6 +136,9 @@ func cli(o opts, w io.Writer) error {
 			return fmt.Errorf("-merge replays recorded artifacts and combines with no other flag")
 		}
 		cache := flit.NewCache()
+		if err := attachStore(cache, o.store); err != nil {
+			return err
+		}
 		var arts []*flit.Artifact
 		for _, path := range strings.Split(o.merge, ",") {
 			a, err := flit.ReadArtifactFile(path)
@@ -157,6 +171,9 @@ func cli(o opts, w io.Writer) error {
 		return err
 	}
 	cache := flit.NewCache()
+	if err := attachStore(cache, o.store); err != nil {
+		return err
+	}
 	var tracker *flit.DeltaTracker
 	if o.warmStart != "" {
 		tracker = flit.NewDeltaTracker(false)
@@ -195,6 +212,21 @@ func cli(o opts, w io.Writer) error {
 		return err
 	}
 	return emitDelta(tracker, cache, o, w)
+}
+
+// attachStore opens dir as a persistent run store (created if absent,
+// rejected if fenced to a different engine version) and attaches it as the
+// cache's second tier. A no-op with an empty dir.
+func attachStore(cache *flit.Cache, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	d, err := store.Open(dir, flit.EngineVersion)
+	if err != nil {
+		return err
+	}
+	cache.SetStore(d)
+	return nil
 }
 
 // emitDelta prints the warm-started run's delta summary and writes the

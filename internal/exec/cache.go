@@ -1,9 +1,17 @@
 package exec
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrComputePanicked is the sentinel error waiters of a cache entry
+// observe when the computation they were blocked on panicked instead of
+// returning. The panicking caller sees the panic itself (Do does not
+// recover); everyone else sharing the entry gets this error rather than a
+// silently-memoized zero value, and the key recomputes on next use.
+var ErrComputePanicked = errors.New("exec: cache computation panicked")
 
 // Cache is a concurrency-safe memoizing map with single-flight semantics:
 // for each key the compute function runs exactly once, concurrent callers
@@ -88,17 +96,21 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
 	c.misses.Add(1)
 	// The done channel must close even if fn panics (a waiter blocked on
 	// <-e.done would otherwise deadlock forever). On panic the entry is
-	// dropped from the map so the key can be recomputed; waiters observe
-	// the zero value, as they did before eviction existed.
+	// dropped from the map so the key can be recomputed, and waiters get
+	// ErrComputePanicked — never a fabricated zero value with a nil error,
+	// which downstream code would memoize into results.
 	completed := false
 	defer func() {
 		c.mu.Lock()
 		if completed {
 			e.completed = true
 			c.evictLocked()
-		} else if c.m[e.key] == e {
-			c.unlink(e)
-			delete(c.m, e.key)
+		} else {
+			e.err = ErrComputePanicked
+			if c.m[e.key] == e {
+				c.unlink(e)
+				delete(c.m, e.key)
+			}
 		}
 		c.mu.Unlock()
 		close(e.done)

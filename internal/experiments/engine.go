@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/flit"
+	"repro/internal/store"
 )
 
 // Engine bundles the execution substrate every experiment runs on: a worker
@@ -97,6 +98,12 @@ func (e *Engine) Pool() *exec.Pool { return e.pool }
 
 // Cache returns the engine's build/run cache.
 func (e *Engine) Cache() *flit.Cache { return e.cache }
+
+// AttachStore attaches a persistent store as the build/run cache's second
+// tier: every in-memory miss consults it before building, every fresh
+// computation writes through. Attach before the first experiment runs.
+// A NewEngineNoCache engine has no cache to attach to; the call is a no-op.
+func (e *Engine) AttachStore(s store.Store) { e.cache.SetStore(s) }
 
 // CacheMetrics snapshots the engine's cache counters — the numbers the
 // CLI's -stats flag prints.

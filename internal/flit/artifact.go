@@ -1,6 +1,7 @@
 package flit
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/link"
+	"repro/internal/store"
 )
 
 // ArtifactVersion is the serialization format version of shard artifacts.
@@ -160,26 +162,49 @@ func (c *Cache) Import(a *Artifact) error {
 		return errors.New("flit: importing into a nil cache")
 	}
 	for _, r := range a.Runs {
-		v := runVal{}
-		if r.IsVec {
-			v.res.Vec = make([]float64, len(r.Vec))
-			for i, bits := range r.Vec {
-				v.res.Vec[i] = math.Float64frombits(bits)
-			}
-		} else {
-			v.res.Scalar = math.Float64frombits(r.Scalar)
-		}
-		if r.Err != "" || r.Segfault {
-			if r.Segfault && r.Err == link.ErrSegfault.Error() {
-				v.err = link.ErrSegfault
-			} else {
-				v.err = &replayedError{msg: r.Err, segfault: r.Segfault}
-			}
-		}
-		c.runs.Seed(r.Key, v, nil)
+		c.runs.Seed(r.Key, runValOf(r), nil)
 	}
 	for _, co := range a.Costs {
 		c.costs.Seed(co.Key, math.Float64frombits(co.Cost), nil)
+	}
+	return nil
+}
+
+// runValOf deserializes one run record back into the cache's value form:
+// IEEE-754 bit patterns become floats, errors regain their text and — for
+// the one error identity the drivers branch on — their errors.Is
+// behavior. It is the exact inverse of recordOf, shared by artifact
+// import and the persistent run store's decode path.
+func runValOf(r RunRecord) runVal {
+	v := runVal{}
+	if r.IsVec {
+		v.res.Vec = make([]float64, len(r.Vec))
+		for i, bits := range r.Vec {
+			v.res.Vec[i] = math.Float64frombits(bits)
+		}
+	} else {
+		v.res.Scalar = math.Float64frombits(r.Scalar)
+	}
+	if r.Err != "" || r.Segfault {
+		if r.Segfault && r.Err == link.ErrSegfault.Error() {
+			v.err = link.ErrSegfault
+		} else {
+			v.err = &replayedError{msg: r.Err, segfault: r.Segfault}
+		}
+	}
+	return v
+}
+
+// validate rejects run records whose fields contradict each other — shapes
+// recordOf can never produce, so they mark a hand-edited, torn, or foreign
+// file. Importing one silently would drop data: a scalar-flagged record's
+// vector is never read back, so v.Vec would vanish into a zero scalar.
+func (r RunRecord) validate() error {
+	if !r.IsVec && len(r.Vec) > 0 {
+		return fmt.Errorf("flit: run record %q is flagged scalar but carries a %d-element vector", r.Key, len(r.Vec))
+	}
+	if r.IsVec && r.Scalar != 0 {
+		return fmt.Errorf("flit: run record %q is flagged vector but carries a scalar value", r.Key)
 	}
 	return nil
 }
@@ -190,7 +215,8 @@ func (c *Cache) Import(a *Artifact) error {
 // healthy export snapshots a map and can never produce duplicates, and
 // importing one silently would let whichever copy seeds first answer every
 // evaluation of that key — so duplicates are rejected outright, even when
-// the copies agree.
+// the copies agree. Internally inconsistent run records (a scalar-flagged
+// record carrying a vector, or the reverse) are rejected the same way.
 func (a *Artifact) Check() error {
 	if a.Version != ArtifactVersion {
 		return fmt.Errorf("flit: artifact format v%d, this build reads v%d", a.Version, ArtifactVersion)
@@ -204,6 +230,9 @@ func (a *Artifact) Check() error {
 	}
 	seen := make(map[string]bool, len(a.Runs))
 	for _, r := range a.Runs {
+		if err := r.validate(); err != nil {
+			return err
+		}
 		if seen[r.Key] {
 			return fmt.Errorf("flit: artifact records run key %q twice", r.Key)
 		}
@@ -278,27 +307,33 @@ func (a *Artifact) WriteJSON(w io.Writer) error {
 	return enc.Encode(a)
 }
 
-// ReadArtifact parses one artifact from JSON.
+// ReadArtifact parses one artifact from JSON. The stream must hold
+// exactly one JSON object: trailing data after it — two artifacts
+// concatenated, a file truncated and rejoined, appended garbage — is
+// rejected rather than silently parsing the first object and discarding
+// the rest, which would replay a partial result set as if it were whole.
 func ReadArtifact(r io.Reader) (*Artifact, error) {
 	var a Artifact
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&a); err != nil {
 		return nil, fmt.Errorf("flit: reading artifact: %w", err)
 	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("flit: reading artifact: trailing data after the JSON object")
+	}
 	return &a, nil
 }
 
-// WriteArtifactFile writes the artifact to path.
+// WriteArtifactFile durably writes the artifact to path: the JSON is
+// staged in a temp file, fsynced, and renamed into place, so a crash
+// mid-write leaves the previous file (or nothing) — never a truncated
+// artifact that poisons the warm starts and merges reading it later.
 func WriteArtifactFile(a *Artifact, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
 		return err
 	}
-	if err := a.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return store.WriteFileAtomic(path, buf.Bytes())
 }
 
 // ReadArtifactFile reads one artifact from path.

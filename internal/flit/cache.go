@@ -6,6 +6,7 @@ import (
 	"repro/internal/comp"
 	"repro/internal/exec"
 	"repro/internal/link"
+	"repro/internal/store"
 )
 
 // CacheKeyer is implemented by test cases whose run identity is not fully
@@ -81,6 +82,13 @@ type Cache struct {
 	runs  *exec.Cache[runVal]
 	costs *exec.Cache[float64]
 
+	// store, when non-nil, is the persistent second tier (SetStore):
+	// consulted key-first on every in-memory miss before any build work,
+	// written through after every computation, fenced to this engine
+	// version. storeC counts its traffic; see persist.go.
+	store  store.Store
+	storeC storeCounters
+
 	// Key-first build accounting: builds counts plans the key-first API
 	// actually materialized (at most once per Builder, however many lookups
 	// shared it); skippedBuilds counts builders that served at least one
@@ -106,14 +114,22 @@ func NewCacheCap(capacity int) *Cache {
 // evaluation of a (executable, test) pair executes, every repeat — across
 // bisect steps, searches, and experiment drivers — is a cache hit with a
 // bit-identical Result. Run errors are memoized too: the toolchain is
-// deterministic, so a crashed combination crashes every time.
+// deterministic, so a crashed combination crashes every time. With a
+// persistent store attached, an in-memory miss consults it before
+// executing and writes any fresh computation through.
 func (c *Cache) RunAll(t TestCase, ex *link.Executable) (Result, error) {
 	if c == nil {
 		return RunAll(t, ex)
 	}
-	v, _ := c.runs.Do(RunKey(ex, t), func() (runVal, error) {
+	key := RunKey(ex, t)
+	v, _ := c.runs.Do(key, func() (runVal, error) {
+		if v, ok := c.storeGetRun(key); ok {
+			return v, nil
+		}
 		r, err := RunAll(t, ex)
-		return runVal{res: r, err: err}, nil
+		v := runVal{res: r, err: err}
+		c.storePutRun(key, v)
+		return v, nil
 	})
 	return v.res, v.err
 }
@@ -124,8 +140,14 @@ func (c *Cache) Cost(ex *link.Executable, root string) float64 {
 	if c == nil {
 		return ex.Cost(root)
 	}
-	v, _ := c.costs.Do(costKey(ex, root), func() (float64, error) {
-		return ex.Cost(root), nil
+	key := costKey(ex, root)
+	v, _ := c.costs.Do(key, func() (float64, error) {
+		if f, ok := c.storeGetCost(key); ok {
+			return f, nil
+		}
+		f := ex.Cost(root)
+		c.storePutCost(key, f)
+		return f, nil
 	})
 	return v
 }
@@ -134,7 +156,10 @@ func (c *Cache) Cost(ex *link.Executable, root string) float64 {
 // plan identity (PlanRunKey — the string a built Executable's RunKey would
 // be), and the plan is materialized through the builder only on a miss. A
 // warm hit therefore runs no link step, no ABI-hazard scan, and no test —
-// the fast path every covered cell of a warm-started campaign takes.
+// the fast path every covered cell of a warm-started campaign takes. A
+// persistent-store hit is the same fast path one tier out: the store is
+// consulted by the same plan key before the builder materializes, so a
+// second process sharing the store builds nothing for covered cells.
 // Errors, whether from the build or the run, are memoized like the eager
 // path's: a deterministic toolchain fails the same way every time.
 func (c *Cache) RunAllPlanned(t TestCase, b *link.Builder) (Result, error) {
@@ -145,17 +170,25 @@ func (c *Cache) RunAllPlanned(t TestCase, b *link.Builder) (Result, error) {
 		}
 		return RunAll(t, ex)
 	}
-	hit := true
-	v, _ := c.runs.Do(PlanRunKey(b, t), func() (runVal, error) {
-		hit = false
+	key := PlanRunKey(b, t)
+	computed := false
+	v, _ := c.runs.Do(key, func() (runVal, error) {
+		if v, ok := c.storeGetRun(key); ok {
+			return v, nil
+		}
+		computed = true
 		ex, err := b.Build()
 		if err != nil {
-			return runVal{err: err}, nil
+			v := runVal{err: err}
+			c.storePutRun(key, v)
+			return v, nil
 		}
 		r, err := RunAll(t, ex)
-		return runVal{res: r, err: err}, nil
+		v := runVal{res: r, err: err}
+		c.storePutRun(key, v)
+		return v, nil
 	})
-	c.noteBuilder(b, hit)
+	c.noteBuilder(b, !computed)
 	return v.res, v.err
 }
 
@@ -169,16 +202,22 @@ func (c *Cache) CostPlanned(b *link.Builder, root string) (float64, error) {
 		}
 		return ex.Cost(root), nil
 	}
-	hit := true
-	v, err := c.costs.Do(planCostKey(b, root), func() (float64, error) {
-		hit = false
+	key := planCostKey(b, root)
+	computed := false
+	v, err := c.costs.Do(key, func() (float64, error) {
+		if f, ok := c.storeGetCost(key); ok {
+			return f, nil
+		}
+		computed = true
 		ex, err := b.Build()
 		if err != nil {
 			return 0, err
 		}
-		return ex.Cost(root), nil
+		f := ex.Cost(root)
+		c.storePutCost(key, f)
+		return f, nil
 	})
-	c.noteBuilder(b, hit)
+	c.noteBuilder(b, !computed)
 	return v, err
 }
 
@@ -246,6 +285,9 @@ type CacheMetrics struct {
 	Costs         exec.Metrics
 	Builds        int64
 	SkippedBuilds int64
+	// Store is the persistent tier's traffic; zero (Enabled false) when no
+	// store is attached.
+	Store StoreMetrics
 }
 
 // Metrics snapshots hit/miss/eviction counters and occupancy of both
@@ -259,5 +301,6 @@ func (c *Cache) Metrics() CacheMetrics {
 		Costs:         c.costs.Metrics(),
 		Builds:        c.builds.Load(),
 		SkippedBuilds: c.skippedBuilds.Load(),
+		Store:         c.StoreMetrics(),
 	}
 }

@@ -95,6 +95,14 @@ func FuzzArtifactDecode(f *testing.F) {
 	}()
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2]) // truncated mid-object
+	// Trailing data after the JSON object: a concatenated second artifact, a
+	// stray brace pair, raw garbage. ReadArtifact must reject all of them —
+	// json.Decoder reads a stream, and accepting "artifact + anything" would
+	// let a torn rewrite (new file + tail of the old) import as valid.
+	f.Add(append(append([]byte{}, valid...), valid...))
+	f.Add(append(append([]byte{}, valid...), []byte("{}")...))
+	f.Add(append(append([]byte{}, valid...), []byte("x")...))
+	f.Add(append(append([]byte{}, valid...), []byte("\n \t\n")...)) // whitespace only: fine
 	f.Add(bytes.Replace(valid, []byte(`"engine"`), []byte(`"en�ine"`), 1))
 	dup := fmt.Sprintf(`{"version":%d,"engine":%q,"shard":{"index":0,"count":1},`+
 		`"runs":[{"key":"k","scalar":1},{"key":"k","scalar":2}],"costs":[]}`,

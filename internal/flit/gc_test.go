@@ -194,6 +194,33 @@ func TestPlanGCOrderingFallsBackToModTime(t *testing.T) {
 	}
 }
 
+// TestPlanGCPathTiebreaker: two generations with identical creation stamps
+// AND identical mtimes still prune deterministically — the path breaks the
+// tie, so two planning passes over the same directory agree on which file
+// survives.
+func TestPlanGCPathTiebreaker(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArt(t, dir, "a.json", []string{"run"}, exec.Shard{}, 100)
+	b := writeArt(t, dir, "b.json", []string{"run"}, exec.Shard{}, 100)
+	when := time.Now().Add(-time.Hour)
+	for _, p := range []string{a, b} {
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		plan, err := PlanGC(dir, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Path descends after the time keys, so the lexically later file is
+		// the "newest" of the tie and survives.
+		if !slices.Equal(plan.Kept, []string{b}) || !slices.Equal(plan.Pruned, []string{a}) {
+			t.Fatalf("pass %d: kept=%v pruned=%v, want kept=[%s] pruned=[%s]", i, plan.Kept, plan.Pruned, b, a)
+		}
+	}
+}
+
 // TestPlanGCRefusesKeepZero: keep < 1 would delete a campaign's entire
 // history; the planner refuses.
 func TestPlanGCRefusesKeepZero(t *testing.T) {

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably writes data to path: the bytes land in a unique
+// temp file in the destination directory, are fsynced, and are renamed
+// into place, so a reader — in this process or any other — only ever
+// observes either the previous complete file or the new complete file. A
+// crash mid-write leaves at most a stray temp file, never a truncated
+// destination; this is the write discipline every store entry, every store
+// manifest, and every shard artifact goes through, because a half-written
+// result file read back later is a data-corruption bug, not a cache miss.
+//
+// The containing directory is fsynced after the rename on a best-effort
+// basis (some platforms and filesystems reject directory syncs); the
+// rename itself is what readers' correctness rests on.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort: the rename is already atomic for readers
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testEngine = "flit-engine/test"
+
+func TestMemRoundTripAndLRU(t *testing.T) {
+	s := NewMem(2)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	buf := []byte("payload-a")
+	if err := s.Put("a", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // the store must have copied
+	if got, ok := s.Get("a"); !ok || string(got) != "payload-a" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	s.Put("b", []byte("payload-b"))
+	s.Get("a") // refresh a: b is now least recently used
+	s.Put("c", []byte("payload-c"))
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// Overwrite replaces in place without growing.
+	s.Put("a", []byte("payload-a2"))
+	if got, _ := s.Get("a"); string(got) != "payload-a2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d, want 2", s.Len())
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// No temp debris may survive a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("stray temp file %s left behind", e.Name())
+		}
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "nosuchdir", "f"), []byte("x")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestDiskRoundTripAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	payload := []byte(`{"key":"k","scalar":7}`)
+	if err := d.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle — the second process of the cross-process story —
+	// must see the entry.
+	d2, err := Open(dir, testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d2.Get("k"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("fresh handle Get = %q, %v", got, ok)
+	}
+	st, err := d2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.Corrupt != 0 || st.Engine != testEngine {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestDiskEngineFencing(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, testEngine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "flit-engine/other"); err == nil {
+		t.Fatal("foreign engine opened the store")
+	}
+	// A corrupt manifest must refuse, not clobber.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testEngine); err == nil {
+		t.Fatal("unreadable manifest accepted")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil || string(raw) != "not json" {
+		t.Fatalf("refusing Open rewrote the manifest: %q, %v", raw, err)
+	}
+}
+
+// TestDiskCorruptEntryIsMissAndHeals: every way an entry file can be
+// damaged must read as a miss, and the next Put of the key repairs it.
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	payload := []byte(`{"v":1}`)
+	corruptions := []struct {
+		name   string
+		mutate func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"trailing garbage", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteString("{}")
+			f.Close()
+		}},
+		{"payload bit flip", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipped := bytes.Replace(raw, []byte(`"v":1`), []byte(`"v":2`), 1)
+			if bytes.Equal(raw, flipped) {
+				t.Fatal("mutation did not apply")
+			}
+			if err := os.WriteFile(path, flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"emptied", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Open(t.TempDir(), testEngine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put("k", payload); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, d.path("k"))
+			if got, ok := d.Get("k"); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if d.CorruptReads() == 0 {
+				t.Error("corrupt read not counted")
+			}
+			// The recomputation's Put heals the entry.
+			if err := d.Put("k", payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := d.Get("k"); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("healed entry Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestDiskWrongKeyFile: an entry file transplanted to another key's path
+// (a hand-copied or hash-colliding file) must miss — the envelope key is
+// checked against the requested key, not just the path.
+func TestDiskWrongKeyFile(t *testing.T) {
+	d, err := Open(t.TempDir(), testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("a", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	src := d.path("a")
+	dst := d.path("b")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("b"); ok {
+		t.Fatal("entry for key a answered a Get for key b")
+	}
+}
+
+// TestDiskForeignEngineEntryIsMiss: an entry file copied in from a store
+// of a different engine version misses even when structurally valid.
+func TestDiskForeignEngineEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	foreign, err := Open(filepath.Join(dir, "f"), "flit-engine/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := foreign.Put("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(filepath.Join(dir, "d"), testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(foreign.path("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(d.path("k")), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path("k"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("foreign-engine entry served as a hit")
+	}
+}
+
+func TestDiskGC(t *testing.T) {
+	d, err := Open(t.TempDir(), testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five entries with strictly increasing mtimes, plus one corrupt file.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := d.Put(key, []byte(fmt.Sprintf(`%d`, i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(d.path(key), base, base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptPath := d.path("k1")
+	if err := os.WriteFile(corruptPath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := d.GC(2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt file always pruned; of the 4 valid entries the 2 oldest go.
+	if plan.Kept != 2 || len(plan.Pruned) != 3 || plan.Corrupt != 1 {
+		t.Fatalf("dry-run plan = %+v", plan)
+	}
+	if _, err := os.Stat(corruptPath); err != nil {
+		t.Fatal("dry-run GC deleted a file")
+	}
+
+	res, err := d.GC(2, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kept != 2 || len(res.Pruned) != 3 {
+		t.Fatalf("apply result = %+v", res)
+	}
+	for _, path := range res.Pruned {
+		if _, err := os.Stat(path); err == nil {
+			t.Errorf("pruned file %s still exists", path)
+		}
+	}
+	// The newest entries survive.
+	for _, key := range []string{"k3", "k4"} {
+		if _, ok := d.Get(key); !ok {
+			t.Errorf("newest entry %s was pruned", key)
+		}
+	}
+	st, err := d.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Corrupt != 0 {
+		t.Fatalf("post-GC Stats = %+v", st)
+	}
+}
+
+// TestDiskGCDeterministicOnTiedMtimes: entries with identical mtimes are
+// ordered by path, so repeated planning passes agree on what to prune.
+func TestDiskGCDeterministicOnTiedMtimes(t *testing.T) {
+	d, err := Open(t.TempDir(), testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tied := time.Now().Add(-time.Hour)
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := d.Put(key, []byte(`1`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(d.path(key), tied, tied); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := d.GC(3, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := d.GC(3, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Pruned) != len(first.Pruned) {
+			t.Fatalf("plan size changed: %d vs %d", len(again.Pruned), len(first.Pruned))
+		}
+		for j := range again.Pruned {
+			if again.Pruned[j] != first.Pruned[j] {
+				t.Fatalf("tied-mtime plan nondeterministic at %d: %s vs %s",
+					j, again.Pruned[j], first.Pruned[j])
+			}
+		}
+	}
+}
+
+// TestDiskByteLimitGC: the -max-bytes bound prunes oldest-first until the
+// tree fits.
+func TestDiskByteLimitGC(t *testing.T) {
+	d, err := Open(t.TempDir(), testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	var sizes []int64
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := d.Put(key, []byte(`12345678`)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(d.path(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+		os.Chtimes(d.path(key), base, base.Add(time.Duration(i)*time.Minute))
+	}
+	// Allow roughly two entries' worth of bytes.
+	res, err := d.GC(0, sizes[0]*2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kept != 2 || len(res.Pruned) != 2 {
+		t.Fatalf("byte-limit GC = %+v (entry size %d)", res, sizes[0])
+	}
+}
+
+// TestDiskConcurrentPutGet: many goroutines hammering overlapping keys
+// must stay consistent — every hit returns exactly what some Put stored.
+func TestDiskConcurrentPutGet(t *testing.T) {
+	d, err := Open(t.TempDir(), testEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				want := []byte(fmt.Sprintf(`"v%d"`, i%5))
+				if err := d.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := d.Get(key); ok && !bytes.Equal(got, want) {
+					t.Errorf("Get(%s) = %q, want %q", key, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

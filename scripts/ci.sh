@@ -22,16 +22,24 @@
 #                    real binary: the laghos-bisect example at -j 1 (the
 #                    paper's sequential probe order) and -j 8 (speculative)
 #                    must print byte-identical output
+#   store smoke      the persistent run store cross-process through the
+#                    real flit binary: two identical runs sharing only a
+#                    -store directory must print byte-identical output, the
+#                    second materializing zero builds with nonzero store
+#                    hits; `flit store stats`/`gc` must see and prune the
+#                    entries
 #   bench shard      one iteration each of BenchmarkParallelEngineSweep,
-#                    BenchmarkSpeculativeBisect, and BenchmarkWarmPath with
-#                    BENCH_SHARD_JSON set, appending this run's engine
-#                    timings (cache cold/warm, fan-out, shard+merge, bisect
-#                    j1/j8 + spec-execs, warm_sweep_sec +
-#                    warm_skipped_builds + cache_speedup_x) to
+#                    BenchmarkSpeculativeBisect, BenchmarkWarmPath, and
+#                    BenchmarkPersistentStore with BENCH_SHARD_JSON set,
+#                    appending this run's engine timings (cache cold/warm,
+#                    fan-out, shard+merge, bisect j1/j8 + spec-execs,
+#                    warm_sweep_sec + warm_skipped_builds + cache_speedup_x,
+#                    store_cold_sec + store_warm_sec + store_hits) to
 #                    BENCH_shard.json — the recorded perf trajectory. The
 #                    warm benches also enforce the key-first contract:
 #                    byte-identical output with zero executables built and
-#                    zero run-cache misses on a fully covered re-run
+#                    zero run-cache misses (zero builds and nonzero store
+#                    hits for the store bench) on a fully covered re-run
 #
 # Run from the repository root: ./scripts/ci.sh
 set -eux
@@ -101,6 +109,21 @@ go build -o "$SHARD_TMP/laghos-bisect" ./examples/laghos-bisect
 "$SHARD_TMP/laghos-bisect" -j 8 >"$SHARD_TMP/laghos-j8.txt"
 diff "$SHARD_TMP/laghos-j1.txt" "$SHARD_TMP/laghos-j8.txt"
 
+# Persistent-store smoke: two processes sharing only a -store directory.
+# The second run must reproduce the first byte for byte without building a
+# single executable — no artifact export, no -warm-start manifest — and the
+# store subcommands must see and prune the persisted entries.
+STORE_DIR="$SHARD_TMP/runstore"
+"$SHARD_TMP/flit" experiments -j 2 -store "$STORE_DIR" -stats table4 \
+	>"$SHARD_TMP/store-cold.txt" 2>"$SHARD_TMP/store-cold-stats.txt"
+"$SHARD_TMP/flit" experiments -j 2 -store "$STORE_DIR" -stats table4 \
+	>"$SHARD_TMP/store-warm.txt" 2>"$SHARD_TMP/store-warm-stats.txt"
+diff "$SHARD_TMP/store-cold.txt" "$SHARD_TMP/store-warm.txt"
+grep 'builds: materialized=0' "$SHARD_TMP/store-warm-stats.txt"
+grep 'store: hits=[1-9]' "$SHARD_TMP/store-warm-stats.txt"
+"$SHARD_TMP/flit" store stats -store "$STORE_DIR" | grep 'corrupt=0'
+"$SHARD_TMP/flit" store gc -store "$STORE_DIR" -max-entries 1 | grep 'kept=1'
+
 # Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
-	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath' -benchtime 1x .
+	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore' -benchtime 1x .
