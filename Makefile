@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench shard-smoke incremental-smoke bench-shard
+.PHONY: ci vet build test race bench-smoke bench shard-smoke incremental-smoke remote-smoke bench-shard
 
-ci: vet build race bench-smoke shard-smoke incremental-smoke bench-shard
+ci: vet build race bench-smoke shard-smoke incremental-smoke remote-smoke bench-shard
 
 vet:
 	$(GO) vet ./...
@@ -53,13 +53,34 @@ incremental-smoke:
 	test ! -f $$tmp/gen1.json && test -f $$tmp/gen2.json && \
 	echo "incremental smoke: delta exact, gc pruned the stale generation"
 
+# The remote store tier end to end through real binaries: `flit store
+# serve` on a loopback port, then two runs sharing nothing but the URL —
+# the second must be byte-identical with zero materialized builds, every
+# hit arriving over the wire. (scripts/ci.sh runs the same smoke.)
+remote-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/flit ./cmd/flit || { rm -rf "$$tmp"; exit 1; }; \
+	$$tmp/flit store serve -dir $$tmp/store -addr 127.0.0.1:0 >$$tmp/serve.txt 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	url=""; for _ in $$(seq 1 100); do \
+		url=$$(sed -n 's|.*on \(http://.*\)|\1|p' $$tmp/serve.txt); \
+		if [ -n "$$url" ]; then break; fi; sleep 0.1; \
+	done; \
+	test -n "$$url" && \
+	$$tmp/flit experiments -j 2 -remote "$$url" -stats table4 >$$tmp/cold.txt 2>$$tmp/cold-stats.txt && \
+	$$tmp/flit experiments -j 2 -remote "$$url" -stats table4 >$$tmp/warm.txt 2>$$tmp/warm-stats.txt && \
+	diff $$tmp/cold.txt $$tmp/warm.txt && \
+	grep -q 'builds: materialized=0' $$tmp/warm-stats.txt && \
+	grep -q 'remote: hits=[1-9]' $$tmp/warm-stats.txt && \
+	echo "remote smoke: byte-identical over the wire, zero builds"
+
 # One iteration of the engine benchmarks, appending their timings to
 # BENCH_shard.json (the recorded perf trajectory of the engine). The warm
 # benches also enforce the key-first contract: a fully covered re-run is
 # byte-identical with zero executables built.
 bench-shard:
 	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard.json \
-		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore' -benchtime 1x .
+		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore|BenchmarkRemoteStore' -benchtime 1x .
 
 # The full benchmark suite regenerates every table and figure of the paper
 # and times the parallel engine (BenchmarkParallelEngineSweep).

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -552,6 +553,92 @@ func BenchmarkPersistentStore(b *testing.B) {
 				"store_cold_sec": coldSec,
 				"store_warm_sec": warmSec,
 				"store_hits":     m.Store.Hits,
+			}
+			if err := appendJSONLine(path, rec); err != nil {
+				b.Fatalf("BENCH_SHARD_JSON: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkRemoteStore times the remote tier's cross-machine warm path:
+// a Disk store served over loopback HTTP, a cold sweep writing through
+// the Remote client, then a second engine — sharing nothing with the
+// first but the URL, the "second machine" scenario — re-rendering the
+// sweep entirely from the wire. The digests must match byte for byte,
+// the warm engine must materialize zero builds, and a healthy loopback
+// transport must need zero retries.
+//
+// With BENCH_SHARD_JSON=path set, appends remote_cold_sec /
+// remote_warm_sec / remote_hits / remote_retries alongside the other
+// perf-trajectory records.
+func BenchmarkRemoteStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		disk, err := store.Open(b.TempDir(), flit.EngineVersion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(store.Handler(disk))
+		newClient := func() *store.Remote {
+			r, err := store.NewRemote(srv.URL, flit.EngineVersion, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r
+		}
+
+		cold := experiments.NewEngine(1)
+		cold.AttachStoreTiers(newClient())
+		t0 := time.Now()
+		coldDigest, err := cold.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldSec := time.Since(t0).Seconds()
+		if m := cold.CacheMetrics(); m.Store.Puts == 0 {
+			b.Fatal("cold sweep persisted nothing over the wire")
+		}
+
+		warm := experiments.NewEngine(1)
+		remote := newClient()
+		warm.AttachStoreTiers(remote)
+		t0 = time.Now()
+		warmDigest, err := warm.SweepDigest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmSec := time.Since(t0).Seconds()
+		srv.Close()
+
+		if coldDigest != warmDigest {
+			b.Fatal("remote-warmed sweep digest differs from the cold run's")
+		}
+		m := warm.CacheMetrics()
+		if m.Builds != 0 {
+			b.Fatalf("remote-warmed sweep materialized %d executables, want 0", m.Builds)
+		}
+		rm := remote.Metrics()
+		if rm.Hits == 0 {
+			b.Fatal("remote-warmed sweep recorded no remote hits")
+		}
+		if rm.Retries != 0 || rm.Errors != 0 {
+			b.Fatalf("loopback transport was not clean: %+v", rm)
+		}
+		b.ReportMetric(coldSec, "remote-cold-sec")
+		b.ReportMetric(warmSec, "remote-warm-sec")
+		b.ReportMetric(coldSec/warmSec, "remote-warm-vs-cold-speedup-x")
+		b.ReportMetric(float64(rm.Hits), "remote-hits")
+		b.ReportMetric(float64(rm.Retries), "remote-retries")
+
+		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+			rec := map[string]any{
+				"bench":           "BenchmarkRemoteStore",
+				"engine":          flit.EngineVersion,
+				"unix":            time.Now().Unix(),
+				"remote_cold_sec": coldSec,
+				"remote_warm_sec": warmSec,
+				"remote_hits":     rm.Hits,
+				"remote_retries":  rm.Retries,
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

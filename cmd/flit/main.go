@@ -15,6 +15,7 @@
 //	flit gc -dir DIR [-keep N] [-dry-run] [-warm-start a.json,b.json]
 //	flit store stats -store DIR
 //	flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
+//	flit store serve -dir DIR [-addr HOST:PORT]
 //
 // "sweep" renders the sampled end-to-end digest of every subsystem on a
 // fresh engine — the determinism witness the equivalence tests compare
@@ -59,6 +60,17 @@
 // corruption; `flit store gc` prunes corrupt files and the oldest entries
 // down to -max-entries/-max-bytes.
 //
+// Remote stores: `flit store serve -dir DIR -addr HOST:PORT` exposes a
+// Disk store over HTTP, and -remote URL on any subcommand attaches it as
+// a persistent tier — the cross-machine form of -store, with the same
+// engine fencing (per request, via headers) and corruption-as-miss
+// discipline (every envelope is SHA-256 re-validated client-side).
+// Transport faults are retried with exponential backoff and degrade to
+// cache misses when exhausted, so a dead server costs recomputation,
+// never a wrong result and never a failed campaign. -store DIR composes
+// with -remote URL as a local read-through/write-through cache in front
+// of the shared server; -stats adds a "remote:" traffic line.
+//
 // Incremental campaigns: with -warm-start in effect, -delta-out FILE
 // writes a structured DeltaReport after the run — which build/run keys are
 // new against the warmed baseline, which baseline keys were dropped, and
@@ -76,6 +88,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -149,6 +163,7 @@ func usage(w io.Writer) {
   flit gc -dir DIR [-keep N] [-dry-run] [-warm-start a.json,b.json]
   flit store stats -store DIR
   flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
+  flit store serve -dir DIR [-addr HOST:PORT]
 
 experiment names: table1 figure4 figure5 figure6 table2 table3 findings
   motivation table4 laghos-nan table5 mpi, or "sweep" for the sampled
@@ -177,6 +192,13 @@ manifest. The store is fenced to this build's engine version; corrupt
 entries read as misses and are recomputed. "flit store stats" and "flit
 store gc" inspect and prune a store directory.
 
+-remote URL attaches a run store served by "flit store serve" (the
+cross-machine form of -store): engine-fenced per request, every envelope
+SHA-256 re-validated client-side, transport faults retried with backoff
+and degraded to cache misses when exhausted — a dead server never fails a
+campaign. Composes with -store DIR as a local read-through/write-through
+cache in front of the server; -stats adds a "remote:" traffic line.
+
 "flit delta" diffs two artifact sets offline (no re-running): each set is
 validated like merge; "flit gc" prunes superseded artifact generations
 per (engine, command, shard) slot, keeping the newest -keep of each and
@@ -194,6 +216,10 @@ type cliOpts struct {
 	deltaOut    *string
 	deltaVerify *bool
 	storeDir    *string
+	remoteURL   *string
+	// remote is the attached Remote backend (set by attachStore when
+	// -remote is given); printStats reads its transport counters.
+	remote *store.Remote
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors back
@@ -216,6 +242,8 @@ func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *cliOpts) {
 			"recompute baseline-covered evaluations and report bit-exact divergence instead of trusting them"),
 		storeDir: fs.String("store", "",
 			"persistent run-store directory: misses consult it before building, results are written through"),
+		remoteURL: fs.String("remote", "",
+			"remote run-store URL (flit store serve): the cross-machine -store; composes with -store DIR as a local cache tier"),
 	}
 	return fs, o
 }
@@ -327,21 +355,36 @@ func (o *cliOpts) checkDeltaFlags() error {
 		// would replay a persisted value and report it as a recomputation.
 		return errors.New("-delta-verify cannot be combined with -store (store hits would replay results instead of recomputing them)")
 	}
+	if *o.deltaVerify && *o.remoteURL != "" {
+		// Same reason one tier further out: a remote hit is a replay too.
+		return errors.New("-delta-verify cannot be combined with -remote (remote hits would replay results instead of recomputing them)")
+	}
 	return nil
 }
 
-// attachStore opens the -store directory (creating it if absent, rejecting
-// one fenced to a different engine version or layout) and attaches it as
-// the engine cache's persistent second tier. A no-op without -store.
+// attachStore builds the engine cache's persistent tier from -store and
+// -remote: the local Disk store (opened, creating if absent, rejecting
+// one fenced to a different engine version or layout) in front of the
+// Remote client when both are given — a read-through/write-through local
+// cache for a shared server — or either alone. A no-op without both.
 func (o *cliOpts) attachStore(eng *experiments.Engine) error {
-	if *o.storeDir == "" {
-		return nil
+	var tiers []store.Store
+	if *o.storeDir != "" {
+		d, err := store.Open(*o.storeDir, flit.EngineVersion)
+		if err != nil {
+			return err
+		}
+		tiers = append(tiers, d)
 	}
-	d, err := store.Open(*o.storeDir, flit.EngineVersion)
-	if err != nil {
-		return err
+	if *o.remoteURL != "" {
+		r, err := store.NewRemote(*o.remoteURL, flit.EngineVersion, nil)
+		if err != nil {
+			return err
+		}
+		o.remote = r
+		tiers = append(tiers, r)
 	}
-	eng.AttachStore(d)
+	eng.AttachStoreTiers(tiers...)
 	return nil
 }
 
@@ -378,7 +421,7 @@ func execute(eng *experiments.Engine, o *cliOpts, command []string,
 	}
 	err := render(out)
 	if *o.stats {
-		printStats(eng, stderr)
+		o.printStats(eng, stderr)
 	}
 	if err != nil {
 		return err
@@ -398,7 +441,7 @@ func execute(eng *experiments.Engine, o *cliOpts, command []string,
 	return nil
 }
 
-func printStats(eng *experiments.Engine, w io.Writer) {
+func (o *cliOpts) printStats(eng *experiments.Engine, w io.Writer) {
 	m := eng.CacheMetrics()
 	fmt.Fprintf(w, "cache runs:  hits=%d misses=%d evictions=%d entries=%d cap=%d\n",
 		m.Runs.Hits, m.Runs.Misses, m.Runs.Evictions, m.Runs.Entries, m.Runs.Capacity)
@@ -415,6 +458,15 @@ func printStats(eng *experiments.Engine, w io.Writer) {
 		// write-throughs (a store that is rotting or has stopped persisting).
 		fmt.Fprintf(w, "store: hits=%d misses=%d puts=%d errors=%d\n",
 			m.Store.Hits, m.Store.Misses, m.Store.Puts, m.Store.Errors)
+	}
+	if o.remote != nil {
+		// The remote tier's own transport counters: retries are the re-sent
+		// requests the backoff loop spent, errors the degraded (non-honest)
+		// misses and failed uploads — a flaky or dying server shows up here
+		// while the run itself stays correct.
+		rm := o.remote.Metrics()
+		fmt.Fprintf(w, "remote: hits=%d misses=%d puts=%d retries=%d errors=%d\n",
+			rm.Hits, rm.Misses, rm.Puts, rm.Retries, rm.Errors)
 	}
 	// paper-execs is the Tables 2/4 cost measure and is identical at every
 	// -j; spec-execs is the speculative extra (timing-dependent) those
@@ -612,7 +664,7 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 	}
 	err = replayCommand(eng, arts[0].Command, stdout)
 	if *o.stats {
-		printStats(eng, stderr)
+		o.printStats(eng, stderr)
 	}
 	if err != nil {
 		return err
@@ -745,17 +797,20 @@ func cmdGc(args []string, stdout, stderr io.Writer) error {
 	return plan.Apply()
 }
 
-// cmdStore inspects and maintains a persistent run-store directory:
-// "stats" scans it and reports entry count, bytes, and corruption;
-// "gc" prunes corrupt files first, then the oldest entries, down to
-// -max-entries/-max-bytes. Both open the store with this build's engine
-// fence, so a foreign store is rejected rather than misreported.
+// cmdStore inspects, maintains, and serves a persistent run-store
+// directory: "stats" scans it and reports entry count, bytes, and
+// corruption; "gc" prunes corrupt files first, then the oldest entries,
+// down to -max-entries/-max-bytes; "serve" exposes it over HTTP for
+// -remote clients. All open the store with this build's engine fence, so
+// a foreign store is rejected rather than misreported.
 func cmdStore(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return errors.New(`store requires a subcommand: "stats" or "gc"`)
+		return errors.New(`store requires a subcommand: "stats", "gc", or "serve"`)
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
+	case "serve":
+		return cmdStoreServe(rest, stdout, stderr)
 	case "stats":
 		fs := flag.NewFlagSet("store stats", flag.ContinueOnError)
 		fs.SetOutput(stderr)
@@ -815,8 +870,41 @@ func cmdStore(args []string, stdout, stderr io.Writer) error {
 			res.Kept, strings.ReplaceAll(verb, " ", "-"), len(res.Pruned), res.PrunedBytes, res.Corrupt)
 		return nil
 	default:
-		return fmt.Errorf(`unknown store subcommand %q (want "stats" or "gc")`, sub)
+		return fmt.Errorf(`unknown store subcommand %q (want "stats", "gc", or "serve")`, sub)
 	}
+}
+
+// cmdStoreServe exposes a Disk store over HTTP — the serving side of
+// -remote. The store is opened with this build's engine fence (so a
+// foreign directory is rejected before it can serve anything), the bound
+// address is announced on stdout as a full URL (use -addr with port 0 to
+// let the OS pick — scripts read the URL off the first line), and the
+// process serves until killed. Writes reuse the Disk store's atomic
+// discipline; a PUT of a key the store already holds is a no-op.
+func cmdStoreServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("store serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "Disk store directory to serve (required; created if absent)")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("store serve requires -dir DIR")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("store serve takes no positional arguments (got %q)", fs.Args())
+	}
+	d, err := store.Open(*dir, flit.EngineVersion)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("store serve: %w", err)
+	}
+	fmt.Fprintf(stdout, "serving %s (engine %s) on http://%s\n", d.Dir(), d.Engine(), ln.Addr())
+	return (&http.Server{Handler: store.Handler(d)}).Serve(ln)
 }
 
 func runExperiment(eng *experiments.Engine, name string, w io.Writer) error {

@@ -24,6 +24,14 @@
 //
 //	quickstart -store ./cache    # computes, writes through
 //	quickstart -store ./cache    # identical output, zero builds
+//
+// ... and the remote one: -remote URL points at a store served by
+// `flit store serve`, so a second machine sharing only the URL gets the
+// same zero-build warm run; -store DIR composes as a local cache tier in
+// front of the server:
+//
+//	flit store serve -dir ./cache -addr 127.0.0.1:8400 &
+//	quickstart -remote http://127.0.0.1:8400            # cross-machine warm
 package main
 
 import (
@@ -98,6 +106,7 @@ type opts struct {
 	deltaOut  string // DeltaReport file a warm-started run writes
 	unroll    bool   // mutate the matrix (incremental-campaign demo)
 	store     string // persistent run-store directory
+	remote    string // remote run-store URL (flit store serve)
 }
 
 func main() {
@@ -111,6 +120,8 @@ func main() {
 		"mutate the matrix: the plain g++ -O3 row becomes g++ -O3 -funroll-loops (incremental-campaign demo)")
 	flag.StringVar(&o.store, "store", "",
 		"persistent run-store directory: misses consult it before building, results are written through")
+	flag.StringVar(&o.remote, "remote", "",
+		"remote run-store URL (flit store serve); composes with -store as a local cache tier")
 	flag.Parse()
 	if err := cli(o, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -136,7 +147,7 @@ func cli(o opts, w io.Writer) error {
 			return fmt.Errorf("-merge replays recorded artifacts and combines with no other flag")
 		}
 		cache := flit.NewCache()
-		if err := attachStore(cache, o.store); err != nil {
+		if err := attachStore(cache, o.store, o.remote); err != nil {
 			return err
 		}
 		var arts []*flit.Artifact
@@ -171,7 +182,7 @@ func cli(o opts, w io.Writer) error {
 		return err
 	}
 	cache := flit.NewCache()
-	if err := attachStore(cache, o.store); err != nil {
+	if err := attachStore(cache, o.store, o.remote); err != nil {
 		return err
 	}
 	var tracker *flit.DeltaTracker
@@ -214,18 +225,29 @@ func cli(o opts, w io.Writer) error {
 	return emitDelta(tracker, cache, o, w)
 }
 
-// attachStore opens dir as a persistent run store (created if absent,
-// rejected if fenced to a different engine version) and attaches it as the
-// cache's second tier. A no-op with an empty dir.
-func attachStore(cache *flit.Cache, dir string) error {
-	if dir == "" {
-		return nil
+// attachStore builds the cache's persistent tier from -store and -remote:
+// the local Disk store (created if absent, rejected if fenced to a
+// different engine version) in front of the Remote client when both are
+// given, or either alone. A no-op with neither.
+func attachStore(cache *flit.Cache, dir, remote string) error {
+	var tiers []store.Store
+	if dir != "" {
+		d, err := store.Open(dir, flit.EngineVersion)
+		if err != nil {
+			return err
+		}
+		tiers = append(tiers, d)
 	}
-	d, err := store.Open(dir, flit.EngineVersion)
-	if err != nil {
-		return err
+	if remote != "" {
+		r, err := store.NewRemote(remote, flit.EngineVersion, nil)
+		if err != nil {
+			return err
+		}
+		tiers = append(tiers, r)
 	}
-	cache.SetStore(d)
+	if s := store.Tier(tiers...); s != nil {
+		cache.SetStore(s)
+	}
 	return nil
 }
 

@@ -1,0 +1,142 @@
+package inject
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/lulesh"
+	"repro/internal/bisect"
+	"repro/internal/exec"
+	"repro/internal/flit"
+	"repro/internal/fp"
+	"repro/internal/link"
+)
+
+func TestEpsFromSumNeverZero(t *testing.T) {
+	// Hashes whose top 53 bits vanish must not produce ε = 0 — the paper
+	// draws from (0,1), and an exactly-zero perturbation would silently
+	// turn an injection into a no-op.
+	if got := epsFromSum(0); got != 0.5 {
+		t.Fatalf("epsFromSum(0) = %g, want the 0.5 fallback", got)
+	}
+	if got := epsFromSum(2047); got != 0.5 { // still zero after >>11
+		t.Fatalf("epsFromSum(2047) = %g, want the 0.5 fallback", got)
+	}
+	if got := epsFromSum(^uint64(0)); got <= 0 || got >= 1 {
+		t.Fatalf("epsFromSum(max) = %g outside (0,1)", got)
+	}
+}
+
+// failingCase delegates to the real lulesh test but starts returning
+// errors after `allow` executions — a deterministic way to break the
+// detection run, the injected run, or the bisect search specifically.
+type failingCase struct {
+	flit.TestCase
+	allow int
+	runs  int
+}
+
+var errSimFault = errors.New("inject test: simulated execution fault")
+
+func (c *failingCase) Run(input []float64, m *link.Machine) (flit.Result, error) {
+	c.runs++
+	if c.runs > c.allow {
+		return flit.Result{}, errSimFault
+	}
+	return c.TestCase.Run(input, m)
+}
+
+func TestRunOneErrorPaths(t *testing.T) {
+	// A measurable site: this exact injection scores Exact in the happy
+	// path, so every stage of RunOne is genuinely exercised before the
+	// planted fault trips.
+	site := Site{Symbol: "CalcAccelerationForNodes", OpIndex: 2}
+	base := lulesh.NewCase()
+	chunks := len(base.GetDefaultInput()) / base.GetInputsPerRun()
+	if chunks < 1 {
+		t.Fatal("lulesh case has no input chunks")
+	}
+
+	cases := []struct {
+		name  string
+		allow int // executions before the fault
+	}{
+		{"baseline run fails", 0},
+		{"injected run fails", chunks},
+		{"bisect search fails", 2 * chunks},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := study()
+			s.Test = &failingCase{TestCase: lulesh.NewCase(), allow: tc.allow}
+			rep := s.RunOne(site, fp.InjMul)
+			if rep.Err == nil {
+				t.Fatalf("fault after %d runs was swallowed: outcome %s", tc.allow, rep.Outcome)
+			}
+			if !strings.Contains(rep.Err.Error(), errSimFault.Error()) {
+				t.Fatalf("unexpected error: %v", rep.Err)
+			}
+			if tc.allow == 2*chunks && rep.Outcome != Missed {
+				t.Fatalf("a failed bisect search scored %s, want missed", rep.Outcome)
+			}
+		})
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	s := study()
+	const target = "CalcAccelerationForNodes"
+	targetFile := s.Prog.MustSymbol(target).File
+
+	if got := s.score(target, []string{"main"}, nil); got != Wrong {
+		t.Errorf("unrelated blame scored %s, want wrong", got)
+	}
+	// No symbol-level blame, but the file search flagged the right file
+	// and symbol search could not go deeper: an indirect localization.
+	shallow := &bisect.Report{Files: []bisect.FileFinding{
+		{File: targetFile, Status: bisect.SymbolsCrashed},
+	}}
+	if got := s.score(target, nil, shallow); got != Indirect {
+		t.Errorf("file-level localization scored %s, want indirect", got)
+	}
+	// Symbol search DID run inside the file and still blamed nothing:
+	// the injection was missed, not indirectly found.
+	deep := &bisect.Report{Files: []bisect.FileFinding{
+		{File: targetFile, Status: bisect.SymbolsFound},
+	}}
+	if got := s.score(target, nil, deep); got != Missed {
+		t.Errorf("empty symbol search scored %s, want missed", got)
+	}
+	if got := s.score(target, nil, &bisect.Report{}); got != Missed {
+		t.Errorf("empty report scored %s, want missed", got)
+	}
+}
+
+func TestSummaryZeroDenominators(t *testing.T) {
+	var s Summary
+	if got := s.AvgExecs(); got != 0 {
+		t.Errorf("AvgExecs with no bisects = %g, want 0", got)
+	}
+	if got := s.Precision(); !math.IsNaN(got) {
+		t.Errorf("Precision with no positives = %g, want NaN", got)
+	}
+	if got := s.Recall(); !math.IsNaN(got) {
+		t.Errorf("Recall with no positives or misses = %g, want NaN", got)
+	}
+}
+
+func TestRunEnumeratesSitesWhenNil(t *testing.T) {
+	// Run(nil) must enumerate the full site space itself; the shard keeps
+	// the owned slice tiny so the test stays fast.
+	s := study()
+	s.Cache = flit.NewCache()
+	s.Shard = exec.Shard{Index: 0, Count: 877}
+	sum := s.Run(nil)
+	want := len(exec.Shard{Index: 0, Count: 877}.Indices(
+		len(EnumerateSites(s.Prog)) * len(fp.AllInjectOps)))
+	if sum.Total != want {
+		t.Fatalf("sharded Run(nil) scored %d injections, want %d", sum.Total, want)
+	}
+}

@@ -46,8 +46,12 @@ func EnumerateSites(p *prog.Program) []Site {
 func EpsFor(site Site, op fp.InjectOp) float64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%c", site.Symbol, site.OpIndex, byte(op))
-	// 53 mantissa bits of the hash mapped into (0,1); never exactly 0.
-	v := float64(h.Sum64()>>11) / float64(1<<53)
+	return epsFromSum(h.Sum64())
+}
+
+// epsFromSum maps 53 mantissa bits of a hash into (0,1); never exactly 0.
+func epsFromSum(u uint64) float64 {
+	v := float64(u>>11) / float64(1<<53)
 	if v == 0 {
 		v = 0.5
 	}

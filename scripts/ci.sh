@@ -28,18 +28,25 @@
 #                    second materializing zero builds with nonzero store
 #                    hits; `flit store stats`/`gc` must see and prune the
 #                    entries
+#   remote smoke     the remote store tier cross-machine through real
+#                    binaries: `flit store serve` on a loopback port, then
+#                    two runs sharing nothing but the URL — the second must
+#                    print byte-identical output materializing zero builds
+#                    with nonzero remote hits
 #   bench shard      one iteration each of BenchmarkParallelEngineSweep,
-#                    BenchmarkSpeculativeBisect, BenchmarkWarmPath, and
-#                    BenchmarkPersistentStore with BENCH_SHARD_JSON set,
-#                    appending this run's engine timings (cache cold/warm,
-#                    fan-out, shard+merge, bisect j1/j8 + spec-execs,
-#                    warm_sweep_sec + warm_skipped_builds + cache_speedup_x,
-#                    store_cold_sec + store_warm_sec + store_hits) to
-#                    BENCH_shard.json — the recorded perf trajectory. The
-#                    warm benches also enforce the key-first contract:
-#                    byte-identical output with zero executables built and
-#                    zero run-cache misses (zero builds and nonzero store
-#                    hits for the store bench) on a fully covered re-run
+#                    BenchmarkSpeculativeBisect, BenchmarkWarmPath,
+#                    BenchmarkPersistentStore, and BenchmarkRemoteStore
+#                    with BENCH_SHARD_JSON set, appending this run's engine
+#                    timings (cache cold/warm, fan-out, shard+merge, bisect
+#                    j1/j8 + spec-execs, warm_sweep_sec +
+#                    warm_skipped_builds + cache_speedup_x, store_cold_sec
+#                    + store_warm_sec + store_hits, remote_warm_sec +
+#                    remote_hits + remote_retries) to BENCH_shard.json —
+#                    the recorded perf trajectory. The warm benches also
+#                    enforce the key-first contract: byte-identical output
+#                    with zero executables built and zero run-cache misses
+#                    (zero builds and nonzero store/remote hits for the
+#                    store benches) on a fully covered re-run
 #
 # Run from the repository root: ./scripts/ci.sh
 set -eux
@@ -124,6 +131,32 @@ grep 'store: hits=[1-9]' "$SHARD_TMP/store-warm-stats.txt"
 "$SHARD_TMP/flit" store stats -store "$STORE_DIR" | grep 'corrupt=0'
 "$SHARD_TMP/flit" store gc -store "$STORE_DIR" -max-entries 1 | grep 'kept=1'
 
+# Remote-store smoke: `flit store serve` on a loopback port, then two runs
+# sharing nothing but the URL — no -store directory, no artifact, no
+# manifest. The second must reproduce the first byte for byte with zero
+# materialized builds, every hit arriving over the wire. The announced URL
+# is read off the server's first stdout line (-addr :0 picks a free port).
+REMOTE_DIR="$SHARD_TMP/remotestore"
+"$SHARD_TMP/flit" store serve -dir "$REMOTE_DIR" -addr 127.0.0.1:0 \
+	>"$SHARD_TMP/serve.txt" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SHARD_TMP"' EXIT
+REMOTE_URL=""
+for _ in $(seq 1 100); do
+	REMOTE_URL=$(sed -n 's|.*on \(http://.*\)|\1|p' "$SHARD_TMP/serve.txt")
+	if [ -n "$REMOTE_URL" ]; then break; fi
+	sleep 0.1
+done
+test -n "$REMOTE_URL"
+"$SHARD_TMP/flit" experiments -j 2 -remote "$REMOTE_URL" -stats table4 \
+	>"$SHARD_TMP/remote-cold.txt" 2>"$SHARD_TMP/remote-cold-stats.txt"
+"$SHARD_TMP/flit" experiments -j 2 -remote "$REMOTE_URL" -stats table4 \
+	>"$SHARD_TMP/remote-warm.txt" 2>"$SHARD_TMP/remote-warm-stats.txt"
+diff "$SHARD_TMP/remote-cold.txt" "$SHARD_TMP/remote-warm.txt"
+grep 'builds: materialized=0' "$SHARD_TMP/remote-warm-stats.txt"
+grep 'remote: hits=[1-9]' "$SHARD_TMP/remote-warm-stats.txt"
+kill "$SERVE_PID"
+
 # Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
-	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore' -benchtime 1x .
+	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore|BenchmarkRemoteStore' -benchtime 1x .
