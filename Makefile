@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench shard-smoke incremental-smoke remote-smoke bench-shard
+.PHONY: ci vet build test race bench-smoke bench shard-smoke incremental-smoke remote-smoke coord-smoke bench-shard
 
-ci: vet build race bench-smoke shard-smoke incremental-smoke remote-smoke bench-shard
+ci: vet build race bench-smoke shard-smoke incremental-smoke remote-smoke coord-smoke bench-shard
 
 vet:
 	$(GO) vet ./...
@@ -74,13 +74,47 @@ remote-smoke:
 	grep -q 'remote: hits=[1-9]' $$tmp/warm-stats.txt && \
 	echo "remote smoke: byte-identical over the wire, zero builds"
 
+# The campaign coordinator end to end through real binaries, worker crash
+# included: `flit coord serve` owns a 2-shard campaign, worker A stalls on
+# its leased shard and is SIGKILLed so the lease expires and is re-leased,
+# worker B completes the campaign alone, the coordinator exits 0 on its
+# own, and the merged artifact set is byte-identical to the unsharded run.
+# (scripts/ci.sh runs the same smoke.)
+coord-smoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/flit ./cmd/flit || { rm -rf "$$tmp"; exit 1; }; \
+	$$tmp/flit coord serve -dir $$tmp/campaign -addr 127.0.0.1:0 \
+		-command "experiments table4" -shards 2 -lease-ttl 2s -exit-when-done \
+		>$$tmp/coord.txt 2>&1 & \
+	cpid=$$!; trap 'kill $$cpid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	url=""; for _ in $$(seq 1 100); do \
+		url=$$(sed -n 's|.*on \(http://.*\)|\1|p' $$tmp/coord.txt); \
+		if [ -n "$$url" ]; then break; fi; sleep 0.1; \
+	done; \
+	test -n "$$url" && \
+	{ FLIT_WORK_STALL=60s $$tmp/flit work -coord "$$url" -j 2 -v -name straggler \
+		>$$tmp/workA.txt 2>&1 & } ; apid=$$!; \
+	for _ in $$(seq 1 100); do \
+		if grep -q 'leased shard' $$tmp/workA.txt; then break; fi; sleep 0.1; \
+	done; \
+	grep -q 'leased shard' $$tmp/workA.txt && \
+	kill -9 $$apid && \
+	$$tmp/flit work -coord "$$url" -j 2 -name finisher >$$tmp/workB.txt 2>&1 && \
+	grep -q 'campaign done (2 shards completed here' $$tmp/workB.txt && \
+	wait $$cpid && \
+	grep -q '2/2 shards complete, [1-9][0-9]* re-leases' $$tmp/coord.txt && \
+	$$tmp/flit experiments -j 2 table4 >$$tmp/unsharded.txt && \
+	$$tmp/flit merge -j 2 $$tmp/campaign/artifacts/shard-*.json >$$tmp/merged.txt && \
+	diff $$tmp/unsharded.txt $$tmp/merged.txt && \
+	echo "coord smoke: crash re-leased, campaign byte-identical"
+
 # One iteration of the engine benchmarks, appending their timings to
 # BENCH_shard.json (the recorded perf trajectory of the engine). The warm
 # benches also enforce the key-first contract: a fully covered re-run is
 # byte-identical with zero executables built.
 bench-shard:
 	BENCH_SHARD_JSON=$(CURDIR)/BENCH_shard.json \
-		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore|BenchmarkRemoteStore' -benchtime 1x .
+		$(GO) test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore|BenchmarkRemoteStore|BenchmarkCoordCampaign' -benchtime 1x .
 
 # The full benchmark suite regenerates every table and figure of the paper
 # and times the parallel engine (BenchmarkParallelEngineSweep).

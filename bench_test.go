@@ -9,9 +9,12 @@
 package repro
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sync"
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/comp"
+	"repro/internal/coord"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/flit"
@@ -639,6 +643,128 @@ func BenchmarkRemoteStore(b *testing.B) {
 				"remote_warm_sec": warmSec,
 				"remote_hits":     rm.Hits,
 				"remote_retries":  rm.Retries,
+			}
+			if err := appendJSONLine(path, rec); err != nil {
+				b.Fatalf("BENCH_SHARD_JSON: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkCoordCampaign times the full distributed-campaign protocol in
+// process: one coordinator (journal + artifact dir + shared object store
+// behind a loopback HTTP mux) and two workers leasing shards of the
+// Table 4 campaign, heartbeating, writing runs through to the shared
+// store, and uploading shard artifacts — then the collector-side merge
+// replay over the completed artifact set, asserted byte-identical to an
+// unsharded run. coord-releases counts straggler re-leases; a healthy
+// loopback campaign needs exactly zero.
+//
+// With BENCH_SHARD_JSON=path set, appends coord_campaign_sec /
+// coord_merge_sec / coord_releases alongside the other perf-trajectory
+// records.
+func BenchmarkCoordCampaign(b *testing.B) {
+	command := []string{"experiments", "table4"}
+	const shards = 4
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		c, err := coord.New(dir, coord.Spec{Command: command, Shards: shards}, coord.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := store.Open(dir+"/store", flit.EngineVersion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", store.Handler(d))
+		mux.Handle("/v1/coord/", coord.Handler(c))
+		srv := httptest.NewServer(mux)
+
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl, err := coord.NewClient(srv.URL, flit.EngineVersion, nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				tier, err := store.NewRemote(srv.URL, flit.EngineVersion, nil)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				run := func(cmd []string, shard exec.Shard) ([]byte, error) {
+					return experiments.RunShard(cmd, shard, 1, tier)
+				}
+				_, errs[w] = coord.Work(context.Background(), cl, run,
+					coord.WorkerOptions{Name: fmt.Sprintf("bench-w%d", w), PollEvery: 10 * time.Millisecond})
+			}(w)
+		}
+		wg.Wait()
+		campaignSec := time.Since(t0).Seconds()
+		srv.Close()
+		for w, err := range errs {
+			if err != nil {
+				b.Fatalf("worker %d: %v", w, err)
+			}
+		}
+		st := c.Status()
+		if !st.Complete || !st.Validated {
+			b.Fatalf("campaign did not complete and validate: %+v", st)
+		}
+
+		arts := make([]*flit.Artifact, shards)
+		for s := 0; s < shards; s++ {
+			raw, err := os.ReadFile(fmt.Sprintf("%s/artifacts/shard-%d.json", dir, s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if arts[s], err = flit.ReadArtifact(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		t0 = time.Now()
+		merged := experiments.NewEngine(1)
+		if err := merged.ImportArtifacts(arts...); err != nil {
+			b.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := experiments.RunCommand(merged, command, &got); err != nil {
+			b.Fatal(err)
+		}
+		mergeSec := time.Since(t0).Seconds()
+		if m := merged.CacheMetrics(); m.Runs.Misses != 0 {
+			b.Fatalf("merged replay missed the cache %d times, want 0", m.Runs.Misses)
+		}
+
+		var want bytes.Buffer
+		if err := experiments.RunCommand(experiments.NewEngine(1), command, &want); err != nil {
+			b.Fatal(err)
+		}
+		if got.String() != want.String() {
+			b.Fatal("merged campaign output differs from the unsharded run")
+		}
+
+		b.ReportMetric(campaignSec, "coord-campaign-sec")
+		b.ReportMetric(mergeSec, "coord-merge-sec")
+		b.ReportMetric(float64(st.Releases), "coord-releases")
+		if st.Releases != 0 {
+			b.Fatalf("loopback campaign re-leased %d shards, want 0", st.Releases)
+		}
+
+		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+			rec := map[string]any{
+				"bench":              "BenchmarkCoordCampaign",
+				"engine":             flit.EngineVersion,
+				"unix":               time.Now().Unix(),
+				"coord_campaign_sec": campaignSec,
+				"coord_merge_sec":    mergeSec,
+				"coord_releases":     st.Releases,
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

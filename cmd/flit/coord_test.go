@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startCoordServe launches `flit coord serve` on a free loopback port and
+// returns its announced URL — read off stdout exactly as scripts do.
+func startCoordServe(t *testing.T, dir string, extra ...string) string {
+	t.Helper()
+	out := &syncBuffer{}
+	args := append([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+		"-command", "experiments table4", "-shards", "2"}, extra...)
+	go run(args, out, out)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "on http://") {
+			line := s[strings.Index(s, "on http://")+len("on "):]
+			return strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		}
+	}
+	t.Fatalf("coord serve never announced a URL: %q", out.String())
+	return ""
+}
+
+// TestWorkCampaignEndToEnd drives the whole distributed protocol through
+// the CLI entry points in-process: one coordinator, two concurrent
+// workers, then `flit merge` over the completed artifact set — stdout
+// byte-identical to the unsharded invocation.
+func TestWorkCampaignEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	url := startCoordServe(t, dir)
+
+	var want, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-j", "2", "table4"}, &want, &stderr); code != 0 {
+		t.Fatalf("unsharded run: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	outs := make([]syncBuffer, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			codes[w] = run([]string{"work", "-coord", url, "-j", "2", "-stats",
+				"-name", fmt.Sprintf("w%d", w)}, &outs[w], &outs[w])
+		}(w)
+	}
+	wg.Wait()
+	completed := 0
+	for w := 0; w < 2; w++ {
+		if codes[w] != 0 {
+			t.Fatalf("worker %d: exit %d: %s", w, codes[w], outs[w].String())
+		}
+		if !strings.Contains(outs[w].String(), "campaign done") {
+			t.Errorf("worker %d did not report campaign done: %s", w, outs[w].String())
+		}
+		if !strings.Contains(outs[w].String(), "remote config: attempts=4") {
+			t.Errorf("worker %d -stats missing effective transport config: %s", w, outs[w].String())
+		}
+		var n int
+		if _, err := fmt.Sscanf(afterToken(outs[w].String(), "campaign done ("), "%d", &n); err == nil {
+			completed += n
+		}
+	}
+	if completed != 2 {
+		t.Errorf("workers completed %d shards between them, want 2", completed)
+	}
+
+	arts, err := filepath.Glob(filepath.Join(dir, "artifacts", "shard-*.json"))
+	if err != nil || len(arts) != 2 {
+		t.Fatalf("campaign artifacts = %v (err %v), want 2 files", arts, err)
+	}
+	var got bytes.Buffer
+	stderr.Reset()
+	if code := run(append([]string{"merge", "-j", "2"}, arts...), &got, &stderr); code != 0 {
+		t.Fatalf("merge: exit %d, stderr: %s", code, stderr.String())
+	}
+	if got.String() != want.String() {
+		t.Errorf("merged campaign output differs from unsharded run:\n--- merged ---\n%s\n--- unsharded ---\n%s",
+			got.String(), want.String())
+	}
+}
+
+// afterToken returns the text following the first occurrence of token.
+func afterToken(s, token string) string {
+	if i := strings.Index(s, token); i >= 0 {
+		return s[i+len(token):]
+	}
+	return ""
+}
+
+// TestCoordServeExitWhenDone: with -exit-when-done the coordinator exits
+// 0 on its own once the campaign completes and validates — the clean
+// scripting surface ci.sh waits on.
+func TestCoordServeExitWhenDone(t *testing.T) {
+	dir := t.TempDir()
+	out := &syncBuffer{}
+	codec := make(chan int, 1)
+	go func() {
+		codec <- run([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+			"-command", "experiments table4", "-shards", "2", "-exit-when-done"}, out, out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	url := ""
+	for url == "" && time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "on http://") {
+			line := s[strings.Index(s, "on http://")+len("on "):]
+			url = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		}
+	}
+	if url == "" {
+		t.Fatalf("no URL announced: %q", out.String())
+	}
+	var wout bytes.Buffer
+	if code := run([]string{"work", "-coord", url, "-j", "2"}, &wout, &wout); code != 0 {
+		t.Fatalf("worker: exit %d: %s\ncoord output: %s", code, wout.String(), out.String())
+	}
+	select {
+	case code := <-codec:
+		if code != 0 {
+			t.Fatalf("coord serve exited %d: %s", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("coord serve did not exit after campaign completion: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "2/2 shards complete") {
+		t.Errorf("final status line missing: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "validated") {
+		t.Errorf("validation receipt missing: %s", out.String())
+	}
+}
+
+// TestCoordServeResumesJournal: a second `coord serve` over the same
+// directory resumes the journaled campaign (empty -command adopts it),
+// and a conflicting -command is refused.
+func TestCoordServeResumesJournal(t *testing.T) {
+	dir := t.TempDir()
+	url := startCoordServe(t, dir)
+	var wout bytes.Buffer
+	if code := run([]string{"work", "-coord", url, "-j", "2"}, &wout, &wout); code != 0 {
+		t.Fatalf("worker: exit %d: %s", code, wout.String())
+	}
+
+	// Resume with no -command: adopts the journal, campaign already done.
+	out := &syncBuffer{}
+	codec := make(chan int, 1)
+	go func() {
+		codec <- run([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+			"-exit-when-done"}, out, out)
+	}()
+	select {
+	case code := <-codec:
+		if code != 0 {
+			t.Fatalf("resumed coord serve exited %d: %s", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("resumed coord serve did not exit over a completed journal: %s", out.String())
+	}
+	if !strings.Contains(out.String(), `"experiments table4"`) {
+		t.Errorf("resume did not announce the journaled command: %s", out.String())
+	}
+
+	// A different campaign over the same directory is a hard error.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+		"-command", "experiments table3", "-shards", "2"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("conflicting campaign: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "refusing to mix campaigns") {
+		t.Errorf("diagnostic does not explain the refusal: %s", stderr.String())
+	}
+}
+
+// TestWorkFlagValidation: usage errors are caught before any network IO.
+func TestWorkFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"work"}, &stdout, &stderr); code != 1 {
+		t.Errorf("work without -coord: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-coord") {
+		t.Errorf("diagnostic does not name -coord: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"work", "-coord", "http://127.0.0.1:1", "-remote-retries", "-3"},
+		&stdout, &stderr); code != 1 {
+		t.Errorf("negative -remote-retries: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-remote-retries") {
+		t.Errorf("diagnostic does not name -remote-retries: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"work", "-coord", "ftp://elsewhere"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad -coord scheme: exit %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"coord", "serve", "-dir", t.TempDir()}, &stdout, &stderr); code != 1 {
+		t.Errorf("coord serve without -command over a fresh dir: exit %d, want 1", code)
+	}
+}
+
+// TestTransportFlagValidation: the shared knobs are validated and, when
+// given without a consumer, rejected rather than silently ignored.
+func TestTransportFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-remote-retries", "2", "table3"}, &stdout, &stderr); code != 1 {
+		t.Errorf("-remote-retries without -remote: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "require -remote") {
+		t.Errorf("diagnostic does not explain the dependency: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"experiments", "-remote", "http://127.0.0.1:1", "-remote-timeout", "-5s", "table3"},
+		&stdout, &stderr); code != 1 {
+		t.Errorf("negative -remote-timeout: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-remote-timeout") {
+		t.Errorf("diagnostic does not name -remote-timeout: %s", stderr.String())
+	}
+}
+
+// TestMergeListsMissingAndDuplicatedShards: the incomplete-partition
+// diagnostics the coordinator (and a human) acts on — exact indices.
+func TestMergeListsMissingAndDuplicatedShards(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 4)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("s%d.json", i))
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"experiments", "-shard", fmt.Sprintf("%d/4", i),
+			"-shard-out", paths[i], "table4"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("shard %d: exit %d, stderr: %s", i, code, stderr.String())
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	// Missing shards 1 and 3, shard 2 given twice.
+	code := run([]string{"merge", paths[0], paths[2], paths[2]}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("broken partition merged: exit %d, want 1", code)
+	}
+	msg := stderr.String()
+	for _, want := range []string{"missing shard indices [1 3]", "duplicated shard indices [2]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}
+

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/flit"
+	"repro/internal/store"
+)
+
+// drainTimeout bounds how long a shutting-down server waits for in-flight
+// requests before closing their connections.
+const drainTimeout = 5 * time.Second
+
+// serveGracefully serves h on ln until SIGINT/SIGTERM (or the optional
+// done channel fires), then stops accepting, drains in-flight requests
+// within drainTimeout, and returns nil — so a supervised `flit store
+// serve` or `flit coord serve` exits 0 on an orderly stop instead of
+// dying mid-response.
+func serveGracefully(h http.Handler, ln net.Listener, done <-chan struct{}, stdout io.Writer) error {
+	srv := &http.Server{Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "shutting down: draining in-flight requests")
+	case <-done:
+		fmt.Fprintln(stdout, "campaign complete: draining in-flight requests")
+	}
+	stop()
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// The drain deadline passed with requests still open; close them.
+		srv.Close()
+	}
+	return nil
+}
+
+// cmdCoord dispatches the coordinator subcommands (today: "serve").
+func cmdCoord(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return errors.New(`coord requires a subcommand: "serve"`)
+	}
+	switch args[0] {
+	case "serve":
+		return cmdCoordServe(args[1:], stdout, stderr)
+	default:
+		return fmt.Errorf(`unknown coord subcommand %q (want "serve")`, args[0])
+	}
+}
+
+// cmdCoordServe runs the campaign coordinator: the flitd service. One
+// process owns one campaign directory holding the journal, the completed
+// shard artifacts, and an object store; its HTTP mux serves both the
+// coordination protocol (/v1/coord/) and the object-store protocol
+// (/v1/objects/), so workers point a single -coord URL at it for
+// scheduling *and* result write-through. A fresh directory starts the
+// campaign described by -command/-shards; a directory with a journal
+// resumes it — crash recovery is just restarting with the same -dir.
+func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coord serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "campaign directory: journal, shard artifacts, object store (required)")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	commandStr := fs.String("command", "", `campaign command, e.g. "experiments table4" (required for a new campaign)`)
+	shards := fs.Int("shards", 0, "shard count for a new campaign")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "lease lifetime without a heartbeat")
+	exitWhenDone := fs.Bool("exit-when-done", false, "exit once the campaign completes and validates")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("coord serve requires -dir DIR")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("coord serve takes no positional arguments (got %q)", fs.Args())
+	}
+	spec := coord.Spec{Command: strings.Fields(*commandStr), Shards: *shards}
+	c, err := coord.New(*dir, spec, coord.Options{LeaseTTL: *leaseTTL})
+	if err != nil {
+		return err
+	}
+	// The campaign's shared object store lives inside the campaign
+	// directory: worker write-through lands here, so a re-leased shard's
+	// replacement replays its predecessor's results as warm hits.
+	d, err := store.Open(filepath.Join(*dir, "store"), c.Spec().Engine)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", store.Handler(d))
+	mux.Handle("/v1/coord/", coord.Handler(c))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("coord serve: %w", err)
+	}
+	fmt.Fprintf(stdout, "coordinating %q as %d shards (engine %s) on http://%s\n",
+		coord.CommandString(c.Spec().Command), c.Spec().Shards, c.Spec().Engine, ln.Addr())
+	var done <-chan struct{}
+	if *exitWhenDone {
+		done = c.Done()
+	}
+	if err := serveGracefully(mux, ln, done, stdout); err != nil {
+		return err
+	}
+	st := c.Status()
+	fmt.Fprintf(stdout, "campaign: %d/%d shards complete, %d re-leases\n", st.Done, st.Shards, st.Releases)
+	if st.Complete {
+		if !st.Validated {
+			return fmt.Errorf("campaign artifacts fail merge validation: %s", st.Problem)
+		}
+		fmt.Fprintf(stdout, "artifact set validated; merge with: flit merge %s\n",
+			filepath.Join(c.ArtifactDir(), "shard-*.json"))
+	}
+	return nil
+}
+
+// cmdWork runs the worker loop against a campaign coordinator: lease a
+// shard, run the recorded command with the ordinary experiments drivers,
+// upload the artifact, repeat until the campaign is done. The
+// coordinator's own object store is attached as the engine cache's
+// persistent tier (optionally fronted by a local -store DIR), and the
+// shared -remote-retries/-remote-timeout knobs shape both the scheduling
+// client and the store client. SIGINT/SIGTERM drains: the shard already
+// running is finished and reported, then the loop exits 0.
+func cmdWork(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coordURL := fs.String("coord", "", "campaign coordinator URL (flit coord serve; required)")
+	name := fs.String("name", "", "worker name reported to the coordinator (default host:pid)")
+	j := fs.Int("j", 0, "parallel evaluations within a shard (0 = one per CPU)")
+	storeDir := fs.String("store", "", "local run-store directory layered in front of the coordinator's store")
+	stats := fs.Bool("stats", false, "print transport counters to stderr when the loop ends")
+	verbose := fs.Bool("v", false, "log each lease/heartbeat-loss/completion event to stderr")
+	retries, timeout := addTransportFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *coordURL == "" {
+		return errors.New("work requires -coord URL")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("work takes no positional arguments (got %q)", fs.Args())
+	}
+	opts, err := transportOptions(*retries, *timeout)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	cl, err := coord.NewClient(*coordURL, flit.EngineVersion, opts)
+	if err != nil {
+		return err
+	}
+	var tiers []store.Store
+	if *storeDir != "" {
+		d, err := store.Open(*storeDir, flit.EngineVersion)
+		if err != nil {
+			return err
+		}
+		tiers = append(tiers, d)
+	}
+	remote, err := store.NewRemote(*coordURL, flit.EngineVersion, opts)
+	if err != nil {
+		return err
+	}
+	tiers = append(tiers, remote)
+	// FLIT_WORK_STALL makes this worker hold each leased shard idle (while
+	// heartbeating) before running it — the deterministic straggler the
+	// SIGKILL smoke needs: kill the stalled worker and its lease expires on
+	// schedule, with no timing race against real work.
+	var stallFor time.Duration
+	if v := os.Getenv("FLIT_WORK_STALL"); v != "" {
+		if stallFor, err = time.ParseDuration(v); err != nil {
+			return fmt.Errorf("FLIT_WORK_STALL: %w", err)
+		}
+	}
+	runner := func(command []string, shard exec.Shard) ([]byte, error) {
+		if stallFor > 0 {
+			time.Sleep(stallFor)
+		}
+		return experiments.RunShard(command, shard, *j, tiers...)
+	}
+	logW := io.Discard
+	if *verbose {
+		logW = stderr
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	wstats, werr := coord.Work(ctx, cl, runner, coord.WorkerOptions{Name: *name, Log: logW})
+	if *stats {
+		rm := remote.Metrics()
+		fmt.Fprintf(stderr, "remote: hits=%d misses=%d puts=%d retries=%d errors=%d\n",
+			rm.Hits, rm.Misses, rm.Puts, rm.Retries, rm.Errors)
+		ro := cl.Options()
+		fmt.Fprintf(stderr, "remote config: attempts=%d attempt-timeout=%s timeout=%s\n",
+			ro.Attempts, ro.AttemptTimeout, ro.Deadline)
+		fmt.Fprintf(stderr, "coord: completed=%d lost=%d retries=%d\n",
+			wstats.Completed, wstats.Lost, cl.Retries())
+	}
+	switch {
+	case werr == nil:
+		fmt.Fprintf(stdout, "worker %s: campaign done (%d shards completed here, %d lost to re-lease)\n",
+			*name, wstats.Completed, wstats.Lost)
+		return nil
+	case errors.Is(werr, context.Canceled):
+		// The drain path: the in-flight shard (if any) was finished and
+		// reported before the loop returned.
+		fmt.Fprintf(stdout, "worker %s: drained (%d shards completed here, %d lost to re-lease)\n",
+			*name, wstats.Completed, wstats.Lost)
+		return nil
+	default:
+		return werr
+	}
+}

@@ -16,6 +16,9 @@
 //	flit store stats -store DIR
 //	flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
 //	flit store serve -dir DIR [-addr HOST:PORT]
+//	flit coord serve -dir DIR -command "experiments sweep" -shards N
+//	                 [-addr HOST:PORT] [-lease-ttl D] [-exit-when-done]
+//	flit work -coord URL [-j N] [-name ID] [-store DIR]
 //
 // "sweep" renders the sampled end-to-end digest of every subsystem on a
 // fresh engine — the determinism witness the equivalence tests compare
@@ -69,7 +72,30 @@
 // cache misses when exhausted, so a dead server costs recomputation,
 // never a wrong result and never a failed campaign. -store DIR composes
 // with -remote URL as a local read-through/write-through cache in front
-// of the shared server; -stats adds a "remote:" traffic line.
+// of the shared server; -stats adds a "remote:" traffic line. The
+// transport is tuned with -remote-retries N (attempts per request) and
+// -remote-timeout D (per-operation deadline), which require -remote (or
+// -coord) and are reported back as effective values by -stats.
+//
+// Distributed campaigns: `flit coord serve` owns one campaign — the
+// recorded command, the shard count, the engine version — and `flit work
+// -coord URL` workers lease shard indices from it instead of being
+// assigned them by hand. Leases are time-bounded and renewed by
+// heartbeat; a worker that crashes or stalls stops heartbeating and its
+// shard is re-leased to the next worker that asks. Completions are
+// last-writer-wins — shard artifacts are deterministic and unstamped, so
+// duplicate or late uploads carry identical bytes and are accepted
+// idempotently. The coordinator journals its state atomically before
+// every acknowledgment; restarting it with the same -dir resumes the
+// campaign exactly (a conflicting -command is refused). The same mux
+// serves the object-store protocol, so workers write runs through to the
+// campaign's shared store and a re-leased shard replays its
+// predecessor's finished cells as warm hits. On the final completion the
+// coordinator validates the artifact set server-side; -exit-when-done
+// then exits 0. SIGINT/SIGTERM drain cleanly on both sides: the
+// coordinator and store server stop accepting, finish in-flight
+// requests, and exit 0; a worker finishes and reports the shard it is
+// running, then exits 0.
 //
 // Incremental campaigns: with -warm-start in effect, -delta-out FILE
 // writes a structured DeltaReport after the run — which build/run keys are
@@ -89,12 +115,11 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
-	"repro/internal/comp"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/flit"
@@ -136,6 +161,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdGc(args[1:], stdout, stderr)
 	case "store":
 		err = cmdStore(args[1:], stdout, stderr)
+	case "coord":
+		err = cmdCoord(args[1:], stdout, stderr)
+	case "work":
+		err = cmdWork(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -164,6 +193,9 @@ func usage(w io.Writer) {
   flit store stats -store DIR
   flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
   flit store serve -dir DIR [-addr HOST:PORT]
+  flit coord serve -dir DIR -command "experiments sweep" -shards N
+                   [-addr HOST:PORT] [-lease-ttl D] [-exit-when-done]
+  flit work -coord URL [-j N] [-name ID] [-store DIR]
 
 experiment names: table1 figure4 figure5 figure6 table2 table3 findings
   motivation table4 laghos-nan table5 mpi, or "sweep" for the sampled
@@ -198,6 +230,18 @@ SHA-256 re-validated client-side, transport faults retried with backoff
 and degraded to cache misses when exhausted — a dead server never fails a
 campaign. Composes with -store DIR as a local read-through/write-through
 cache in front of the server; -stats adds a "remote:" traffic line.
+-remote-retries N and -remote-timeout D tune the transport (they require
+-remote or -coord; -stats reports the effective values).
+
+"flit coord serve" owns one campaign and leases its shard indices to
+"flit work -coord URL" workers over time-bounded, heartbeat-renewed
+leases: a crashed or stalled worker's shard is re-leased, duplicate or
+late completions are accepted idempotently (artifacts are deterministic),
+and the journaled coordinator resumes exactly after a restart with the
+same -dir. The coordinator's mux also serves the object-store protocol,
+so workers share one URL for scheduling and run write-through. SIGTERM
+drains both sides cleanly (exit 0); -exit-when-done exits once the
+completed artifact set validates server-side.
 
 "flit delta" diffs two artifact sets offline (no re-running): each set is
 validated like merge; "flit gc" prunes superseded artifact generations
@@ -217,6 +261,12 @@ type cliOpts struct {
 	deltaVerify *bool
 	storeDir    *string
 	remoteURL   *string
+	// remoteRetries/remoteTimeout are the shared transport knobs: they
+	// shape every client that speaks the store's retry discipline, whether
+	// it points at a -remote object store or (in `flit work`) a -coord
+	// coordinator. 0 selects the production default.
+	remoteRetries *int
+	remoteTimeout *time.Duration
 	// remote is the attached Remote backend (set by attachStore when
 	// -remote is given); printStats reads its transport counters.
 	remote *store.Remote
@@ -245,7 +295,32 @@ func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *cliOpts) {
 		remoteURL: fs.String("remote", "",
 			"remote run-store URL (flit store serve): the cross-machine -store; composes with -store DIR as a local cache tier"),
 	}
+	o.remoteRetries, o.remoteTimeout = addTransportFlags(fs)
 	return fs, o
+}
+
+// addTransportFlags registers the shared remote-transport knobs on fs —
+// the same two flags tune -remote object-store clients and the `flit
+// work` coordinator client, because both speak the same retry/backoff
+// discipline.
+func addTransportFlags(fs *flag.FlagSet) (*int, *time.Duration) {
+	retries := fs.Int("remote-retries", 0,
+		"total attempts per remote request, first try included (0 = the default 4)")
+	timeout := fs.Duration("remote-timeout", 0,
+		"deadline for one remote operation across all its retries (0 = the default 30s)")
+	return retries, timeout
+}
+
+// transportOptions validates the shared knobs and builds the options both
+// -remote and -coord clients run with.
+func transportOptions(retries int, timeout time.Duration) (*store.RemoteOptions, error) {
+	if retries < 0 {
+		return nil, errors.New("-remote-retries must be >= 0 (0 selects the default)")
+	}
+	if timeout < 0 {
+		return nil, errors.New("-remote-timeout must be >= 0 (0 selects the default)")
+	}
+	return &store.RemoteOptions{Attempts: retries, Deadline: timeout}, nil
 }
 
 // readArtifacts loads a list of artifact files, skipping empty entries
@@ -376,8 +451,15 @@ func (o *cliOpts) attachStore(eng *experiments.Engine) error {
 		}
 		tiers = append(tiers, d)
 	}
+	opts, err := transportOptions(*o.remoteRetries, *o.remoteTimeout)
+	if err != nil {
+		return err
+	}
+	if *o.remoteURL == "" && (*o.remoteRetries != 0 || *o.remoteTimeout != 0) {
+		return errors.New("-remote-retries/-remote-timeout require -remote URL")
+	}
 	if *o.remoteURL != "" {
-		r, err := store.NewRemote(*o.remoteURL, flit.EngineVersion, nil)
+		r, err := store.NewRemote(*o.remoteURL, flit.EngineVersion, opts)
 		if err != nil {
 			return err
 		}
@@ -467,6 +549,11 @@ func (o *cliOpts) printStats(eng *experiments.Engine, w io.Writer) {
 		rm := o.remote.Metrics()
 		fmt.Fprintf(w, "remote: hits=%d misses=%d puts=%d retries=%d errors=%d\n",
 			rm.Hits, rm.Misses, rm.Puts, rm.Retries, rm.Errors)
+		// The effective transport shape (defaults filled in), so a tuned
+		// -remote-retries/-remote-timeout is visible in the run record.
+		ro := o.remote.Options()
+		fmt.Fprintf(w, "remote config: attempts=%d attempt-timeout=%s timeout=%s\n",
+			ro.Attempts, ro.AttemptTimeout, ro.Deadline)
 	}
 	// paper-execs is the Tables 2/4 cost measure and is identical at every
 	// -j; spec-execs is the speculative extra (timing-dependent) those
@@ -491,42 +578,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 		command = append(command, "-test", *test)
 	}
 	return execute(eng, o, command, func(w io.Writer) error {
-		return renderRun(eng, *test, w)
+		return experiments.RenderRun(eng, *test, w)
 	}, stdout, stderr)
-}
-
-func renderRun(eng *experiments.Engine, test string, w io.Writer) error {
-	res, err := eng.Results()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "%-12s %-46s %-10s %-12s %s\n", "test", "compilation", "speedup", "compare", "class")
-	for _, name := range res.TestNames() {
-		if test != "" && name != test {
-			continue
-		}
-		for _, rr := range res.SortedBySpeed(name) {
-			class := "bitwise-equal"
-			if rr.Variable() {
-				class = "VARIABLE"
-			}
-			fmt.Fprintf(w, "%-12s %-46s %-10.3f %-12.3g %s\n",
-				name, rr.Comp, res.Speedup(rr), rr.CompareVal, class)
-		}
-	}
-	return nil
-}
-
-func parseCompilation(s string) (comp.Compilation, error) {
-	fields := strings.Fields(s)
-	if len(fields) < 2 {
-		return comp.Compilation{}, fmt.Errorf("compilation %q: want 'compiler -Olevel [switches]'", s)
-	}
-	return comp.Compilation{
-		Compiler: fields[0],
-		OptLevel: fields[1],
-		Switches: strings.Join(fields[2:], " "),
-	}, nil
 }
 
 func cmdBisect(args []string, stdout, stderr io.Writer) error {
@@ -540,7 +593,7 @@ func cmdBisect(args []string, stdout, stderr io.Writer) error {
 	if *test == "" || *compStr == "" {
 		return fmt.Errorf("bisect requires -test and -comp")
 	}
-	variable, err := parseCompilation(*compStr)
+	variable, err := experiments.ParseCompilation(*compStr)
 	if err != nil {
 		return err
 	}
@@ -552,35 +605,8 @@ func cmdBisect(args []string, stdout, stderr io.Writer) error {
 	// parseCompilation) keeps the recorded command whitespace-independent.
 	command := []string{"bisect", "-test", *test, "-comp", variable.String(), "-k", strconv.Itoa(*k)}
 	return execute(eng, o, command, func(w io.Writer) error {
-		return renderBisect(eng, *test, variable, *k, eng.Shard(), w)
+		return experiments.RenderBisect(eng, *test, variable, *k, eng.Shard(), w)
 	}, stdout, stderr)
-}
-
-func renderBisect(eng *experiments.Engine, test string, variable comp.Compilation,
-	k int, shard exec.Shard, w io.Writer) error {
-	wf := eng.Workflow()
-	tc := wf.TestByName(test)
-	if tc == nil {
-		return fmt.Errorf("unknown test %q (Example01..Example19)", test)
-	}
-	report, err := wf.BisectSharded(tc, variable, k, shard)
-	eng.NoteBisect(report)
-	if err != nil {
-		return err
-	}
-	if report.NoVariability {
-		fmt.Fprintln(w, "no variability attributable to compiled files",
-			"(it may come from the link step)")
-		return nil
-	}
-	fmt.Fprintf(w, "executions: %d\n", report.Execs)
-	for _, ff := range report.Files {
-		fmt.Fprintf(w, "file %-22s magnitude %-12.4g symbols: %s\n", ff.File, ff.Value, ff.Status)
-		for _, sf := range ff.Symbols {
-			fmt.Fprintf(w, "    %-40s %.4g\n", sf.Item, sf.Value)
-		}
-	}
-	return nil
 }
 
 func cmdExperiments(args []string, stdout, stderr io.Writer) error {
@@ -599,19 +625,8 @@ func cmdExperiments(args []string, stdout, stderr io.Writer) error {
 	}
 	command := append([]string{"experiments"}, names...)
 	return execute(eng, o, command, func(w io.Writer) error {
-		return renderExperiments(eng, names, w)
+		return experiments.RenderExperiments(eng, names, w)
 	}, stdout, stderr)
-}
-
-func renderExperiments(eng *experiments.Engine, names []string, w io.Writer) error {
-	for _, name := range names {
-		fmt.Fprintf(w, "=== %s ===\n", name)
-		if err := runExperiment(eng, name, w); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Fprintln(w)
-	}
-	return nil
 }
 
 // cmdMerge reassembles a complete set of shard artifacts: it validates
@@ -662,7 +677,7 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 	if err := o.loadWarmStart(eng); err != nil {
 		return err
 	}
-	err = replayCommand(eng, arts[0].Command, stdout)
+	err = experiments.RunCommand(eng, arts[0].Command, stdout)
 	if *o.stats {
 		o.printStats(eng, stderr)
 	}
@@ -670,43 +685,6 @@ func cmdMerge(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return emitDelta(eng, o, arts[0].Command, stderr)
-}
-
-// replayCommand re-executes the canonical command recorded in a shard
-// artifact against a cache-seeded engine.
-func replayCommand(eng *experiments.Engine, command []string, stdout io.Writer) error {
-	if len(command) == 0 {
-		return errors.New("artifact records no command to replay")
-	}
-	rest := command[1:]
-	switch command[0] {
-	case "run":
-		fs := flag.NewFlagSet("merge/run", flag.ContinueOnError)
-		fs.SetOutput(io.Discard)
-		test := fs.String("test", "", "")
-		if err := fs.Parse(rest); err != nil {
-			return fmt.Errorf("replaying %q: %v", command, err)
-		}
-		return renderRun(eng, *test, stdout)
-	case "bisect":
-		fs := flag.NewFlagSet("merge/bisect", flag.ContinueOnError)
-		fs.SetOutput(io.Discard)
-		test := fs.String("test", "", "")
-		compStr := fs.String("comp", "", "")
-		k := fs.Int("k", 0, "")
-		if err := fs.Parse(rest); err != nil {
-			return fmt.Errorf("replaying %q: %v", command, err)
-		}
-		variable, err := parseCompilation(*compStr)
-		if err != nil {
-			return err
-		}
-		return renderBisect(eng, *test, variable, *k, exec.Shard{}, stdout)
-	case "experiments":
-		return renderExperiments(eng, rest, stdout)
-	default:
-		return fmt.Errorf("artifact records unknown command %q", command[0])
-	}
 }
 
 // cmdDelta diffs two artifact sets offline: the -baseline set against the
@@ -904,147 +882,5 @@ func cmdStoreServe(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("store serve: %w", err)
 	}
 	fmt.Fprintf(stdout, "serving %s (engine %s) on http://%s\n", d.Dir(), d.Engine(), ln.Addr())
-	return (&http.Server{Handler: store.Handler(d)}).Serve(ln)
-}
-
-func runExperiment(eng *experiments.Engine, name string, w io.Writer) error {
-	switch name {
-	case "table1":
-		rows, err := eng.Table1()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiments.RenderTable1(rows))
-	case "figure4":
-		for _, ex := range []int{5, 9} {
-			s, err := eng.Figure4(ex)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%s: %d compilations\n", s.Example, len(s.Points))
-			if s.HasEqual {
-				fmt.Fprintf(w, "  fastest bitwise equal: %-40s speedup %.3f\n",
-					s.FastestEqual.Comp, s.FastestEqual.Speedup)
-			}
-			if s.HasVariable {
-				fmt.Fprintf(w, "  fastest variable:      %-40s speedup %.3f  variability %.3g\n",
-					s.FastestVariable.Comp, s.FastestVariable.Speedup, s.FastestVariable.Error)
-			}
-		}
-	case "figure5":
-		rows, err := eng.Figure5()
-		if err != nil {
-			return err
-		}
-		repro := 0
-		fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-12s %s\n",
-			"example", "g++", "clang++", "icpc", "variable", "fastest-reproducible")
-		for _, r := range rows {
-			bar := func(c string) string {
-				if v, ok := r.EqualByCompiler[c]; ok {
-					return fmt.Sprintf("%.3f", v)
-				}
-				return "-"
-			}
-			va := "-"
-			if r.HasVariable {
-				va = fmt.Sprintf("%.3f", r.FastestVariable)
-			}
-			if r.FastestIsReproducible {
-				repro++
-			}
-			fmt.Fprintf(w, "%-8d %-10s %-10s %-10s %-12s %v\n", r.Example,
-				bar(comp.GCC), bar(comp.Clang), bar(comp.ICPC), va, r.FastestIsReproducible)
-		}
-		fmt.Fprintf(w, "%d of 19 examples fastest with a bitwise-reproducible compilation (paper: 14)\n", repro)
-	case "figure6":
-		rows, err := eng.Figure6()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-8s %-14s %-12s %-12s %s\n", "example", "# variable/244", "min err", "median err", "max err")
-		for _, r := range rows {
-			if r.VariableComps == 0 {
-				fmt.Fprintf(w, "%-8d %-14d (invariant)\n", r.Example, 0)
-				continue
-			}
-			fmt.Fprintf(w, "%-8d %-14d %-12.3g %-12.3g %.3g\n",
-				r.Example, r.VariableComps, r.MinErr, r.MedianErr, r.MaxErr)
-		}
-	case "table2":
-		rows, total, err := eng.Table2(0)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "variable (test, compilation) pairs bisected: %d\n", total)
-		fmt.Fprint(w, experiments.RenderTable2(rows))
-	case "table3":
-		fmt.Fprintf(w, "%-30s %-12s %s\n", "metric", "measured", "paper")
-		for _, r := range experiments.Table3() {
-			fmt.Fprintf(w, "%-30s %-12.5g %.6g\n", r.Metric, r.Measured, r.Paper)
-		}
-	case "findings":
-		fs, err := eng.Findings()
-		if err != nil {
-			return err
-		}
-		for _, f := range fs {
-			fmt.Fprintf(w, "Example %d: max relative error %.3g, %d compilations examined\n",
-				f.Example, f.MaxRelErr, len(f.Compilations))
-			for _, fn := range f.Functions {
-				fmt.Fprintf(w, "    %s\n", fn)
-			}
-		}
-	case "motivation":
-		mo, err := experiments.RunMotivation()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "xlc++ -O2: energy norm %.1f, %.1f s\n", mo.NormO2, mo.SecondsO2)
-		fmt.Fprintf(w, "xlc++ -O3: energy norm %.1f, %.1f s\n", mo.NormO3, mo.SecondsO3)
-		fmt.Fprintf(w, "relative difference %.1f%% (paper: 11.2%%), speedup %.2fx (paper: 2.42x)\n",
-			100*mo.RelDiff, mo.SpeedupFactor)
-	case "table4":
-		rows, err := eng.Table4()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiments.RenderTable4(rows))
-	case "laghos-nan":
-		res, err := eng.RunNaNBug()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "executions: %d (paper: 45)\nsymbols:\n", res.Execs)
-		for _, s := range res.Symbols {
-			fmt.Fprintf(w, "    %s\n", s)
-		}
-	case "table5":
-		sum, err := eng.Table5(1)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiments.RenderTable5(sum))
-	case "table5-sample":
-		sum, err := eng.Table5(13)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiments.RenderTable5(sum))
-	case "mpi":
-		rows, err := eng.MPIStudy(4, 3)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, experiments.RenderMPI(rows))
-	case "sweep":
-		digest, err := eng.SweepDigest()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, digest)
-	default:
-		return fmt.Errorf("unknown experiment %q", name)
-	}
-	return nil
+	return serveGracefully(store.Handler(d), ln, nil, stdout)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/comp"
+	"repro/internal/experiments"
 )
 
 func TestParseCompilation(t *testing.T) {
@@ -46,18 +47,18 @@ func TestParseCompilation(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			got, err := parseCompilation(tt.in)
+			got, err := experiments.ParseCompilation(tt.in)
 			if tt.wantErr {
 				if err == nil {
-					t.Fatalf("parseCompilation(%q) = %v, want error", tt.in, got)
+					t.Fatalf("experiments.ParseCompilation(%q) = %v, want error", tt.in, got)
 				}
 				return
 			}
 			if err != nil {
-				t.Fatalf("parseCompilation(%q): %v", tt.in, err)
+				t.Fatalf("experiments.ParseCompilation(%q): %v", tt.in, err)
 			}
 			if got != tt.want {
-				t.Errorf("parseCompilation(%q) = %+v, want %+v", tt.in, got, tt.want)
+				t.Errorf("experiments.ParseCompilation(%q) = %+v, want %+v", tt.in, got, tt.want)
 			}
 		})
 	}

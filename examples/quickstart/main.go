@@ -32,6 +32,13 @@
 //
 //	flit store serve -dir ./cache -addr 127.0.0.1:8400 &
 //	quickstart -remote http://127.0.0.1:8400            # cross-machine warm
+//
+// The -shard/-merge flow above picks shard indices by hand. For the flit
+// campaigns themselves, `flit coord serve` automates the hand: it leases
+// shard indices to any number of `flit work -coord URL` workers under
+// heartbeat-renewed leases (a crashed worker's shard is re-leased) and
+// validates the merged artifact set server-side — see the "Campaign
+// coordinator" section of the README.
 package main
 
 import (

@@ -1,0 +1,186 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Client speaks the coordinator protocol under the same transport
+// discipline as store.Remote — bounded retries with backoff and jitter on
+// 5xx/timeouts/connection errors, a per-operation deadline — because a
+// worker mid-campaign sees exactly the network a remote store client
+// does. Unlike the store client it does NOT fail open: scheduling calls
+// are cheap and their answers change what the worker does next, so an
+// exhausted retry budget surfaces as an error the worker loop backs off
+// on, not as a silent miss.
+type Client struct {
+	base    string
+	engine  string
+	opts    store.RemoteOptions
+	retries atomic.Int64
+}
+
+// NewClient returns a coordinator client for the service at baseURL,
+// fenced to the given engine version. opts may be nil; zero fields take
+// the store transport defaults.
+func NewClient(baseURL, engine string, opts *store.RemoteOptions) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("coord: coordinator URL %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("coord: coordinator URL %q: want http(s)://host[:port]", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), engine: engine}
+	if opts != nil {
+		c.opts = *opts
+	}
+	c.opts = c.opts.WithDefaults()
+	return c, nil
+}
+
+// URL returns the coordinator's base URL.
+func (cl *Client) URL() string { return cl.base }
+
+// Options returns the effective (defaults-filled) transport options.
+func (cl *Client) Options() store.RemoteOptions { return cl.opts }
+
+// Retries reports how many requests the client re-sent.
+func (cl *Client) Retries() int64 { return cl.retries.Load() }
+
+// do runs one coordinator operation under the retry loop and classifies
+// the terminal answer. When out is non-nil a 200 body must decode into it
+// — a 200 whose body does not parse is a damaged response (truncation,
+// bit rot), which is a transport failure of that attempt and retried,
+// exactly as the store client treats a damaged envelope.
+func (cl *Client) do(method, op string, body []byte, out any) error {
+	res, exhausted := cl.opts.Retry(func(ctx context.Context) store.Attempt {
+		a := cl.send(ctx, method, op, body)
+		if a.Err == nil && a.Status == http.StatusOK && out != nil {
+			if err := json.Unmarshal(a.Body, out); err != nil {
+				return store.Attempt{Err: fmt.Errorf("malformed response: %w", err)}
+			}
+		}
+		return a
+	}, func() { cl.retries.Add(1) })
+	if exhausted {
+		if res.Err != nil {
+			return fmt.Errorf("coord: %s: retries exhausted: %w", op, res.Err)
+		}
+		return fmt.Errorf("coord: %s: retries exhausted (last status %d)", op, res.Status)
+	}
+	return classify(op, res)
+}
+
+// call POSTs one coordinator operation.
+func (cl *Client) call(op string, req leaseRequest, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("coord: encoding %s request: %w", op, err)
+	}
+	return cl.do(http.MethodPost, op, body, out)
+}
+
+// send issues one request and reads a size-capped body.
+func (cl *Client) send(ctx context.Context, method, op string, body []byte) store.Attempt {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.base+coordPathPrefix+op, reader)
+	if err != nil {
+		return store.Attempt{Err: err}
+	}
+	req.Header.Set(engineHeader, cl.engine)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := cl.opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return store.Attempt{Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody+1))
+	if err != nil {
+		return store.Attempt{Err: err}
+	}
+	return store.Attempt{Status: resp.StatusCode, Body: data}
+}
+
+// classify turns a terminal non-2xx attempt into the caller-facing error.
+func classify(op string, res store.Attempt) error {
+	switch res.Status {
+	case http.StatusOK:
+		return nil
+	case StatusLeaseLost:
+		return ErrLeaseLost
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("coord: %s: coordinator runs a different engine: %s", op, strings.TrimSpace(string(res.Body)))
+	default:
+		return fmt.Errorf("coord: %s: status %d: %s", op, res.Status, strings.TrimSpace(string(res.Body)))
+	}
+}
+
+// Lease asks for a shard. The returned state is Granted (the Grant is
+// valid), Wait (poll again after a beat), or Done (campaign complete).
+func (cl *Client) Lease(worker string) (Grant, LeaseState, error) {
+	var lr leaseResponse
+	if err := cl.call("lease", leaseRequest{Worker: worker}, &lr); err != nil {
+		return Grant{}, Wait, err
+	}
+	switch lr.State {
+	case "granted":
+		return Grant{Shard: lr.Shard, Count: lr.Count, Command: lr.Command,
+			LeaseID: lr.LeaseID, TTL: time.Duration(lr.TTLMS) * time.Millisecond}, Granted, nil
+	case "done":
+		return Grant{}, Done, nil
+	case "wait":
+		return Grant{}, Wait, nil
+	default:
+		return Grant{}, Wait, fmt.Errorf("coord: lease: unknown state %q", lr.State)
+	}
+}
+
+// Heartbeat extends a lease; ErrLeaseLost means the shard is no longer
+// this worker's and the run should be abandoned.
+func (cl *Client) Heartbeat(worker, leaseID string, shard int) error {
+	return cl.call("heartbeat", leaseRequest{Worker: worker, LeaseID: leaseID, Shard: shard}, nil)
+}
+
+// Release hands a leased shard back (the drain path). Idempotent.
+func (cl *Client) Release(worker, leaseID string, shard int) error {
+	return cl.call("release", leaseRequest{Worker: worker, LeaseID: leaseID, Shard: shard}, nil)
+}
+
+// Complete uploads a finished shard artifact. The lease need not still be
+// live — deterministic artifacts make late and duplicate completions safe.
+// done reports whether this completion finished the whole campaign, which
+// matters under -exit-when-done: the coordinator may be gone before the
+// worker's next lease poll could say so.
+func (cl *Client) Complete(worker, leaseID string, shard int, artifact []byte) (done bool, err error) {
+	var lr leaseResponse
+	err = cl.call("complete", leaseRequest{Worker: worker, LeaseID: leaseID,
+		Shard: shard, Artifact: json.RawMessage(artifact)}, &lr)
+	return err == nil && lr.State == "done", err
+}
+
+// Status fetches the campaign snapshot.
+func (cl *Client) Status() (Status, error) {
+	var st Status
+	err := cl.do(http.MethodGet, "status", nil, &st)
+	return st, err
+}

@@ -1,0 +1,477 @@
+// Package coord is the campaign coordinator ("flitd"): the service that
+// turns the shard/merge protocol from a hand-orchestrated workflow into a
+// self-healing distributed one. A coordinator owns one campaign — a
+// recorded CLI command, an engine version, and an N-way sharding of the
+// command's deterministic job space — and hands out time-bounded *leases*
+// on shard indices to workers. Workers heartbeat to keep a lease alive,
+// run their shard with the ordinary experiments drivers, and report the
+// exported artifact back; the coordinator re-leases shards whose
+// heartbeats stop (worker crash, stall, network partition), accepts
+// duplicate completions idempotently (artifacts for the same shard are
+// deterministic and self-validating, so last-writer-wins is safe), and
+// journals every state change through the store's atomic-write helper so
+// a coordinator restart recovers all leases and completions from disk.
+// When the partition completes it runs `flit merge`'s complete-partition
+// and engine-fence validation server-side, so a campaign is only reported
+// done when the artifact set provably replays byte-identical.
+//
+// The robustness invariant the whole design leans on is inherited from
+// PR 2/6/7: every shard artifact is a pure, self-describing function of
+// (engine version, command, shard coordinates). Losing a worker never
+// loses correctness — only the wall-clock already spent, and usually not
+// even that, because run results were written through to the shared store
+// and the re-leased shard replays them as warm hits.
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/flit"
+	"repro/internal/store"
+)
+
+// JournalVersion is the on-disk format version of the coordinator journal.
+const JournalVersion = 1
+
+// journalName is the journal file at the root of a coordinator directory.
+const journalName = "coord.json"
+
+// artifactsDir holds the completed shard artifacts, one file per index.
+const artifactsDir = "artifacts"
+
+// ErrLeaseLost is the terminal answer to a heartbeat, release, or
+// completion whose lease is no longer the shard's current one: the
+// coordinator expired it and may already have promised the shard to
+// another worker. A worker receiving it abandons the shard cleanly — the
+// run results it computed are already in the shared store, so the new
+// owner's run replays them as warm hits.
+var ErrLeaseLost = errors.New("coord: lease lost (expired or superseded)")
+
+// badRequest marks an error caused by the caller's input (a malformed or
+// mismatched artifact, out-of-range shard coordinates), so the HTTP layer
+// can answer 400 instead of blaming the server.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+// IsBadRequest reports whether err is the caller's fault.
+func IsBadRequest(err error) bool {
+	var b badRequest
+	return errors.As(err, &b)
+}
+
+// Spec describes one campaign: the canonical recorded command (the same
+// []string shard artifacts record for `flit merge`), the engine version
+// every participant must share, and the shard count.
+type Spec struct {
+	Engine  string   `json:"engine"`
+	Command []string `json:"command"`
+	Shards  int      `json:"shards"`
+}
+
+// Options tunes a coordinator. The zero value selects production-shaped
+// defaults; tests shrink the TTL and inject a clock.
+type Options struct {
+	// LeaseTTL is how long a lease lives without a heartbeat (default 10s).
+	// Each heartbeat extends the lease by a full TTL.
+	LeaseTTL time.Duration
+	// Now is the clock (default time.Now); tests inject a fake to drive
+	// expiry deterministically.
+	Now func() time.Time
+}
+
+func (o *Options) withDefaults() {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// Grant is one leased shard: everything a worker needs to run it and to
+// keep the lease alive while doing so.
+type Grant struct {
+	Shard   int           `json:"shard"`
+	Count   int           `json:"count"`
+	Command []string      `json:"command"`
+	LeaseID string        `json:"lease_id"`
+	TTL     time.Duration `json:"-"`
+}
+
+// LeaseState classifies a lease request's outcome.
+type LeaseState int
+
+const (
+	// Granted: the response carries a Grant.
+	Granted LeaseState = iota
+	// Wait: every remaining shard is currently leased; poll again.
+	Wait
+	// Done: the campaign is complete; the worker can exit.
+	Done
+)
+
+// shardState is one shard's scheduling state. At most one of Done and an
+// active lease holds at a time; a shard with neither is available.
+type shardState struct {
+	done     bool
+	artifact string // file name under artifactsDir, set when done
+	leaseID  string
+	worker   string
+	expiry   time.Time
+}
+
+// Coordinator is the campaign state machine. All methods are safe for
+// concurrent use; every mutation is journaled (atomic temp+rename) before
+// it is acknowledged, so an acknowledged lease or completion survives a
+// coordinator crash.
+type Coordinator struct {
+	dir  string
+	spec Spec
+	opts Options
+
+	mu       sync.Mutex
+	shards   []shardState
+	seq      int64 // lease-id counter, persisted so recovered IDs never collide
+	releases int64 // expired leases handed back to the pool (straggler metric)
+	valid    bool  // server-side merge validation passed
+	valErr   string
+	done     chan struct{} // closed when every shard is complete
+}
+
+// New opens (creating or recovering) the coordinator rooted at dir. A
+// fresh directory requires a fully specified spec (command + shard count;
+// an empty Engine defaults to this build's flit.EngineVersion). A
+// directory holding a journal resumes that campaign: an empty spec adopts
+// the journaled one, a non-empty spec must match it — silently continuing
+// a *different* campaign over recovered state would hand out leases for
+// work nobody recorded.
+func New(dir string, spec Spec, opts Options) (*Coordinator, error) {
+	opts.withDefaults()
+	if spec.Engine == "" {
+		spec.Engine = flit.EngineVersion
+	}
+	if err := os.MkdirAll(filepath.Join(dir, artifactsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("coord: opening %s: %w", dir, err)
+	}
+	c := &Coordinator{dir: dir, spec: spec, opts: opts, done: make(chan struct{})}
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	switch {
+	case os.IsNotExist(err):
+		if len(spec.Command) == 0 || spec.Shards < 1 {
+			return nil, errors.New("coord: a new campaign needs a command and a shard count >= 1")
+		}
+		c.shards = make([]shardState, spec.Shards)
+		if err := c.journalLocked(); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("coord: reading journal: %w", err)
+	default:
+		if err := c.recover(raw, spec); err != nil {
+			return nil, err
+		}
+	}
+	if c.doneCountLocked() == len(c.shards) {
+		c.finishLocked()
+	}
+	return c, nil
+}
+
+// Dir returns the coordinator's root directory.
+func (c *Coordinator) Dir() string { return c.dir }
+
+// Spec returns the campaign spec.
+func (c *Coordinator) Spec() Spec { return c.spec }
+
+// ArtifactDir returns the directory completed shard artifacts land in.
+func (c *Coordinator) ArtifactDir() string { return filepath.Join(c.dir, artifactsDir) }
+
+// Done returns a channel closed once every shard has completed and the
+// server-side merge validation has run.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Lease hands out the lowest-indexed available shard. Expired leases are
+// swept first, so a crashed or stalled worker's shard is re-leased here —
+// the straggler-mitigation path.
+func (c *Coordinator) Lease(worker string) (Grant, LeaseState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := c.sweepLocked()
+	if c.doneCountLocked() == len(c.shards) {
+		if changed {
+			if err := c.journalLocked(); err != nil {
+				return Grant{}, Wait, err
+			}
+		}
+		return Grant{}, Done, nil
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.done || s.leaseID != "" {
+			continue
+		}
+		c.seq++
+		s.leaseID = fmt.Sprintf("L%d", c.seq)
+		s.worker = worker
+		s.expiry = c.opts.Now().Add(c.opts.LeaseTTL)
+		if err := c.journalLocked(); err != nil {
+			return Grant{}, Wait, err
+		}
+		return Grant{Shard: i, Count: c.spec.Shards, Command: c.spec.Command,
+			LeaseID: s.leaseID, TTL: c.opts.LeaseTTL}, Granted, nil
+	}
+	if changed {
+		if err := c.journalLocked(); err != nil {
+			return Grant{}, Wait, err
+		}
+	}
+	return Grant{}, Wait, nil
+}
+
+// Heartbeat extends a live lease by a full TTL. A heartbeat on a lease
+// that is past its expiry but still the shard's recorded one *renews* it —
+// the shard was not promised to anyone else, so renewal cannot double-
+// schedule and saves the work already in flight (a coordinator that was
+// briefly down must not strand every worker). A lease that was superseded
+// or completed answers ErrLeaseLost.
+func (c *Coordinator) Heartbeat(worker, leaseID string, shard int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, err := c.shardByLease(leaseID, shard)
+	if err != nil {
+		return err
+	}
+	s.worker = worker
+	s.expiry = c.opts.Now().Add(c.opts.LeaseTTL)
+	return c.journalLocked()
+}
+
+// Release voluntarily returns a leased shard to the pool (the worker is
+// draining). Releasing a lease that is already gone is not an error —
+// release is the cleanup path and must be idempotent.
+func (c *Coordinator) Release(worker, leaseID string, shard int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, err := c.shardByLease(leaseID, shard)
+	if err != nil {
+		return nil // already expired, superseded, or completed: nothing to release
+	}
+	s.leaseID, s.worker, s.expiry = "", "", time.Time{}
+	return c.journalLocked()
+}
+
+// shardByLease resolves (leaseID, shard) to the shard state iff the lease
+// is still the shard's current one.
+func (c *Coordinator) shardByLease(leaseID string, shard int) (*shardState, error) {
+	if shard < 0 || shard >= len(c.shards) {
+		return nil, badRequest{fmt.Errorf("coord: shard %d of a %d-shard campaign", shard, len(c.shards))}
+	}
+	s := &c.shards[shard]
+	if s.done || leaseID == "" || s.leaseID != leaseID {
+		return nil, ErrLeaseLost
+	}
+	return s, nil
+}
+
+// Complete records a finished shard: artifact is the worker's exported
+// shard artifact, verbatim. The artifact must validate — engine fence,
+// internal consistency, and shard coordinates matching the completed index
+// — but the *lease* is deliberately not required to still be live:
+// artifacts for the same shard are deterministic and self-validating, so a
+// straggler completing after its lease was re-leased (or after another
+// worker already completed the shard) is harmless, and accepting it makes
+// duplicate completion a non-event instead of an error path. The bytes are
+// stored as received (atomic write), so duplicate completions converge on
+// identical files.
+func (c *Coordinator) Complete(worker, leaseID string, shard int, artifact []byte) error {
+	if shard < 0 || shard >= c.spec.Shards {
+		return badRequest{fmt.Errorf("coord: completion for shard %d of a %d-shard campaign", shard, c.spec.Shards)}
+	}
+	a, err := flit.ReadArtifact(bytes.NewReader(artifact))
+	if err != nil {
+		return badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
+	}
+	if err := a.Check(); err != nil {
+		return badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
+	}
+	if a.Engine != c.spec.Engine {
+		return badRequest{fmt.Errorf("coord: completion artifact from engine %q, campaign is %q", a.Engine, c.spec.Engine)}
+	}
+	if !equalCommand(a.Command, c.spec.Command) {
+		return badRequest{fmt.Errorf("coord: completion artifact records command %q, campaign is %q", a.Command, c.spec.Command)}
+	}
+	count := a.Shard.Count
+	if count < 1 {
+		count = 1
+	}
+	if a.Shard.Index != shard || count != c.spec.Shards {
+		return badRequest{fmt.Errorf("coord: completion for shard %d carries artifact of shard %s", shard, a.Shard)}
+	}
+	name := fmt.Sprintf("shard-%d.json", shard)
+	if err := store.WriteFileAtomic(filepath.Join(c.dir, artifactsDir, name), artifact); err != nil {
+		return fmt.Errorf("coord: storing shard artifact: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &c.shards[shard]
+	s.done = true
+	s.artifact = name
+	s.leaseID, s.worker, s.expiry = "", "", time.Time{}
+	if err := c.journalLocked(); err != nil {
+		return err
+	}
+	if c.doneCountLocked() == len(c.shards) {
+		c.finishLocked()
+	}
+	return nil
+}
+
+// sweepLocked expires stale leases, returning shards to the pool.
+// Reports whether anything changed (the caller journals).
+func (c *Coordinator) sweepLocked() bool {
+	now := c.opts.Now()
+	changed := false
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.done || s.leaseID == "" || now.Before(s.expiry) {
+			continue
+		}
+		s.leaseID, s.worker, s.expiry = "", "", time.Time{}
+		c.releases++
+		changed = true
+	}
+	return changed
+}
+
+func (c *Coordinator) doneCountLocked() int {
+	n := 0
+	for i := range c.shards {
+		if c.shards[i].done {
+			n++
+		}
+	}
+	return n
+}
+
+// finishLocked runs the server-side merge validation over the completed
+// artifact set and closes the done channel. Validation failure does not
+// un-complete the campaign — the shards are what they are — but it is
+// recorded and surfaced by Status, so a caller never merges blind.
+func (c *Coordinator) finishLocked() {
+	select {
+	case <-c.done:
+		return // already finished (recovery re-entry)
+	default:
+	}
+	arts := make([]*flit.Artifact, 0, len(c.shards))
+	err := func() error {
+		for i := range c.shards {
+			a, err := flit.ReadArtifactFile(filepath.Join(c.dir, artifactsDir, c.shards[i].artifact))
+			if err != nil {
+				return err
+			}
+			arts = append(arts, a)
+		}
+		return flit.ValidateShardSet(arts)
+	}()
+	if err != nil {
+		c.valid, c.valErr = false, err.Error()
+	} else {
+		c.valid, c.valErr = true, ""
+	}
+	close(c.done)
+}
+
+// LeaseInfo is one live lease, as Status reports it.
+type LeaseInfo struct {
+	Shard     int    `json:"shard"`
+	Worker    string `json:"worker"`
+	LeaseID   string `json:"lease_id"`
+	ExpiresMS int64  `json:"expires_in_ms"`
+}
+
+// Status is a point-in-time snapshot of the campaign.
+type Status struct {
+	Engine    string      `json:"engine"`
+	Command   []string    `json:"command"`
+	Shards    int         `json:"shards"`
+	Done      int         `json:"done"`
+	Completed []int       `json:"completed"`
+	Leases    []LeaseInfo `json:"leases,omitempty"`
+	Releases  int64       `json:"releases"`
+	Complete  bool        `json:"complete"`
+	Validated bool        `json:"validated"`
+	Problem   string      `json:"problem,omitempty"`
+}
+
+// Status snapshots the campaign. Stale leases are swept first, so the
+// reported leases are the live ones.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sweepLocked() {
+		// Best-effort: a failed journal write here only delays persistence
+		// of the sweep; the next mutating call retries it.
+		_ = c.journalLocked()
+	}
+	st := Status{
+		Engine:    c.spec.Engine,
+		Command:   append([]string(nil), c.spec.Command...),
+		Shards:    c.spec.Shards,
+		Releases:  c.releases,
+		Completed: []int{},
+	}
+	now := c.opts.Now()
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.done {
+			st.Done++
+			st.Completed = append(st.Completed, i)
+			continue
+		}
+		if s.leaseID != "" {
+			st.Leases = append(st.Leases, LeaseInfo{Shard: i, Worker: s.worker,
+				LeaseID: s.leaseID, ExpiresMS: s.expiry.Sub(now).Milliseconds()})
+		}
+	}
+	sort.Ints(st.Completed)
+	if st.Done == st.Shards {
+		st.Complete = true
+		st.Validated = c.valid
+		st.Problem = c.valErr
+	}
+	return st
+}
+
+// Releases reports how many expired leases were returned to the pool —
+// the straggler-mitigation counter the coordinator smoke asserts on.
+func (c *Coordinator) Releases() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.releases
+}
+
+func equalCommand(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommandString renders a campaign command the way the CLI accepts it.
+func CommandString(command []string) string { return strings.Join(command, " ") }

@@ -1,0 +1,439 @@
+package coord_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/flit"
+	"repro/internal/store"
+	"repro/internal/store/storetest"
+)
+
+// campaignCommand is the canonical campaign every test schedules: the
+// Laghos bisect fan-out — cheap but non-trivial, and the same standard
+// the CLI's shard/merge equivalence tests replay.
+var campaignCommand = []string{"experiments", "table4"}
+
+// fastOpts is the test transport: production shape, millisecond scale.
+func fastOpts() *store.RemoteOptions {
+	return &store.RemoteOptions{
+		Attempts:       4,
+		BaseDelay:      time.Millisecond,
+		MaxDelay:       4 * time.Millisecond,
+		AttemptTimeout: 250 * time.Millisecond,
+		Deadline:       10 * time.Second,
+	}
+}
+
+// serveCampaign starts a coordinator over dir with its object store and
+// returns the Flaky fault injector wrapping the whole mux.
+func serveCampaign(t *testing.T, c *coord.Coordinator) (*httptest.Server, *storetest.Flaky) {
+	t.Helper()
+	d, err := store.Open(filepath.Join(c.Dir(), "store"), c.Spec().Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", store.Handler(d))
+	mux.Handle("/v1/coord/", coord.Handler(c))
+	flaky := storetest.NewFlaky(mux)
+	srv := httptest.NewServer(flaky)
+	t.Cleanup(srv.Close)
+	return srv, flaky
+}
+
+// runner builds the production worker unit: run the shard with the
+// experiments drivers, write results through the server's object store.
+func runner(t *testing.T, url string, j int) coord.Runner {
+	t.Helper()
+	remote, err := store.NewRemote(url, flit.EngineVersion, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(command []string, shard exec.Shard) ([]byte, error) {
+		return experiments.RunShard(command, shard, j, remote)
+	}
+}
+
+// unshardedOutput renders the campaign command on a fresh engine — the
+// byte-identity reference every converged campaign must reproduce.
+func unshardedOutput(t *testing.T, j int) string {
+	t.Helper()
+	eng := experiments.NewEngineCap(j, 0)
+	var buf bytes.Buffer
+	if err := experiments.RunCommand(eng, campaignCommand, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// mergedOutput replays the coordinator's completed artifact set exactly
+// as `flit merge` would and asserts the replay recomputed nothing.
+func mergedOutput(t *testing.T, c *coord.Coordinator, j int) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(c.ArtifactDir(), "shard-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	arts := make([]*flit.Artifact, 0, len(files))
+	for _, f := range files {
+		a, err := flit.ReadArtifactFile(f)
+		if err != nil {
+			t.Fatalf("reading %s: %v", f, err)
+		}
+		arts = append(arts, a)
+	}
+	if err := flit.ValidateShardSet(arts); err != nil {
+		t.Fatalf("completed campaign fails merge validation: %v", err)
+	}
+	eng := experiments.NewEngineCap(j, 0)
+	if err := eng.ImportArtifacts(arts...); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := experiments.RunCommand(eng, campaignCommand, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if m := eng.CacheMetrics(); m.Runs.Misses != 0 {
+		t.Errorf("merged replay recomputed %d runs; the shard set should cover everything", m.Runs.Misses)
+	}
+	return buf.String()
+}
+
+// TestCampaignConvergesUnderFaults is the headline: a 4-shard campaign
+// run by two concurrent workers over HTTP, through a transport fault
+// script (503s, stalls, truncations, corruption, foreign fences) aimed
+// at coordination and object traffic alike, at j∈{1,8} — the merged
+// artifact set must replay byte-identical to an unsharded run.
+func TestCampaignConvergesUnderFaults(t *testing.T) {
+	for _, j := range []int{1, 8} {
+		t.Run(fmt.Sprintf("j%d", j), func(t *testing.T) {
+			want := unshardedOutput(t, j)
+			c, err := coord.New(t.TempDir(), coord.Spec{Command: campaignCommand, Shards: 4},
+				coord.Options{LeaseTTL: 2 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, flaky := serveCampaign(t, c)
+			flaky.Push(storetest.Err503, storetest.Pass, storetest.Stall, storetest.Pass,
+				storetest.Truncate, storetest.Corrupt, storetest.Pass, storetest.Err503,
+				storetest.WrongEngine, storetest.Pass, storetest.Err503)
+
+			var wg sync.WaitGroup
+			errs := make([]error, 2)
+			for w := 0; w < 2; w++ {
+				cl, err := coord.NewClient(srv.URL, flit.EngineVersion, fastOpts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(w int, cl *coord.Client) {
+					defer wg.Done()
+					_, errs[w] = coord.Work(context.Background(), cl, runner(t, srv.URL, j),
+						coord.WorkerOptions{Name: fmt.Sprintf("w%d", w), PollEvery: 10 * time.Millisecond})
+				}(w, cl)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			select {
+			case <-c.Done():
+			default:
+				t.Fatal("workers returned but the campaign is not done")
+			}
+			st := c.Status()
+			if !st.Complete || !st.Validated {
+				t.Fatalf("campaign not validated: %+v", st)
+			}
+			if got := mergedOutput(t, c, j); got != want {
+				t.Errorf("j=%d: merged output differs from unsharded run", j)
+			}
+		})
+	}
+}
+
+// TestLeaseExpiryReLease drives the straggler path against the state
+// machine directly with an injected clock: a worker that stops
+// heartbeating loses its shard on the next sweep, the shard is re-leased
+// to a second worker, and the first worker's lease is dead.
+func TestLeaseExpiryReLease(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c, err := coord.New(t.TempDir(), coord.Spec{Command: campaignCommand, Shards: 1},
+		coord.Options{LeaseTTL: 10 * time.Second, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, state, err := c.Lease("w1")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("first lease: state=%v err=%v", state, err)
+	}
+	// Heartbeats keep it alive across the TTL boundary.
+	now = now.Add(8 * time.Second)
+	if err := c.Heartbeat("w1", g1.LeaseID, g1.Shard); err != nil {
+		t.Fatalf("heartbeat on a live lease: %v", err)
+	}
+	if _, state, _ := c.Lease("w2"); state != coord.Wait {
+		t.Fatalf("second worker got state %v while the shard is leased, want Wait", state)
+	}
+	// Silence past the TTL: the sweep must hand the shard to w2.
+	now = now.Add(11 * time.Second)
+	g2, state, err := c.Lease("w2")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("re-lease after expiry: state=%v err=%v", state, err)
+	}
+	if g2.Shard != g1.Shard || g2.LeaseID == g1.LeaseID {
+		t.Fatalf("re-lease = %+v, want same shard under a fresh lease (was %+v)", g2, g1)
+	}
+	if n := c.Releases(); n != 1 {
+		t.Fatalf("releases = %d, want 1", n)
+	}
+	if err := c.Heartbeat("w1", g1.LeaseID, g1.Shard); !errors.Is(err, coord.ErrLeaseLost) {
+		t.Fatalf("stale heartbeat = %v, want ErrLeaseLost", err)
+	}
+	// An expired-but-unsuperseded lease, by contrast, renews: drop w2's
+	// lease past its TTL without anyone else asking, then heartbeat.
+	now = now.Add(11 * time.Second)
+	if err := c.Heartbeat("w2", g2.LeaseID, g2.Shard); err != nil {
+		t.Fatalf("renewing an expired, unsuperseded lease: %v", err)
+	}
+}
+
+// TestHeartbeatLossReLeaseAndDuplicateCompletion proves the full
+// crash-recovery story over HTTP: worker w1 leases the only shard and
+// goes silent (the crash), the lease expires, worker w2 re-leases and
+// completes the campaign — and then w1 comes back from the dead and
+// reports the same shard twice more under its stale lease. Every
+// completion must be accepted, the artifact file must stay byte-stable,
+// and the campaign must validate.
+func TestHeartbeatLossReLeaseAndDuplicateCompletion(t *testing.T) {
+	c, err := coord.New(t.TempDir(), coord.Spec{Command: campaignCommand, Shards: 1},
+		coord.Options{LeaseTTL: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, flaky := serveCampaign(t, c)
+	// The dying worker's requests hit transport faults too — they must
+	// cost retries, not correctness. Aim the script at coordination calls
+	// only so the object-store warmup stays clean.
+	flaky.Match = func(r *http.Request) bool {
+		return strings.HasPrefix(r.URL.Path, "/v1/coord/")
+	}
+	flaky.Push(storetest.Err503, storetest.Pass, storetest.Err503)
+
+	cl1, err := coord.NewClient(srv.URL, flit.EngineVersion, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, state, err := cl1.Lease("w1")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("w1 lease: state=%v err=%v", state, err)
+	}
+	// w1 computes its artifact, then "crashes": no heartbeat ever arrives.
+	art1, err := runner(t, srv.URL, 2)(g1.Command, exec.Shard{Index: g1.Shard, Count: g1.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		st, err := c.Status(), error(nil)
+		_ = err
+		if st.Releases >= 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// w2 picks up the expired shard and completes the campaign.
+	cl2, err := coord.NewClient(srv.URL, flit.EngineVersion, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := coord.Work(context.Background(), cl2, runner(t, srv.URL, 2),
+		coord.WorkerOptions{Name: "w2", PollEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("w2: %v", err)
+	}
+	if stats.Completed != 1 {
+		t.Fatalf("w2 completed %d shards, want 1", stats.Completed)
+	}
+	artPath := filepath.Join(c.ArtifactDir(), "shard-0.json")
+	canonical, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ghost returns: duplicate completions under a long-dead lease.
+	for i := 0; i < 2; i++ {
+		done, err := cl1.Complete("w1", g1.LeaseID, g1.Shard, art1)
+		if err != nil {
+			t.Fatalf("duplicate completion %d rejected: %v", i, err)
+		}
+		if !done {
+			t.Errorf("duplicate completion %d over a finished campaign did not report done", i)
+		}
+	}
+	after, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonical, after) {
+		t.Error("duplicate completion changed the stored artifact bytes")
+	}
+	if st := c.Status(); !st.Complete || !st.Validated || st.Done != 1 {
+		t.Fatalf("campaign state after duplicates: %+v", st)
+	}
+	if got, want := mergedOutput(t, c, 2), unshardedOutput(t, 2); got != want {
+		t.Error("merged output differs from unsharded run after re-lease + duplicates")
+	}
+}
+
+// TestCoordinatorRestartRecovery kills the coordinator mid-campaign and
+// reopens its directory: completions stay completed, the in-flight lease
+// stays leased under its original ID (the worker keeps heartbeating it),
+// and the campaign finishes with no duplicate or lost shards.
+func TestCoordinatorRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	spec := coord.Spec{Command: campaignCommand, Shards: 3}
+	c1, err := coord.New(dir, spec, coord.Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shard, count int) []byte {
+		art, err := experiments.RunShard(campaignCommand, exec.Shard{Index: shard, Count: count}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return art
+	}
+	g0, state, err := c1.Lease("w1")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("lease 0: %v %v", state, err)
+	}
+	if err := c1.Complete("w1", g0.LeaseID, g0.Shard, run(g0.Shard, g0.Count)); err != nil {
+		t.Fatal(err)
+	}
+	g1, state, err := c1.Lease("w1")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("lease 1: %v %v", state, err)
+	}
+	// Crash: c1 is abandoned with shard 0 done and shard 1 mid-flight.
+	c2, err := coord.New(dir, coord.Spec{}, coord.Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if got := c2.Spec(); coord.CommandString(got.Command) != coord.CommandString(spec.Command) || got.Shards != 3 {
+		t.Fatalf("recovered spec = %+v, want %+v", got, spec)
+	}
+	st := c2.Status()
+	if st.Done != 1 || len(st.Completed) != 1 || st.Completed[0] != g0.Shard {
+		t.Fatalf("recovered completions: %+v", st)
+	}
+	if len(st.Leases) != 1 || st.Leases[0].LeaseID != g1.LeaseID || st.Leases[0].Shard != g1.Shard {
+		t.Fatalf("recovered leases: %+v, want %s on shard %d", st.Leases, g1.LeaseID, g1.Shard)
+	}
+	// The worker's heartbeat (same lease ID) lands on the recovered state.
+	if err := c2.Heartbeat("w1", g1.LeaseID, g1.Shard); err != nil {
+		t.Fatalf("heartbeat across restart: %v", err)
+	}
+	// Finish: the in-flight shard completes, a fresh worker takes the last
+	// one. Leasing must hand out exactly the one remaining shard — a
+	// duplicate grant would double-run, a lost one would stall.
+	if err := c2.Complete("w1", g1.LeaseID, g1.Shard, run(g1.Shard, g1.Count)); err != nil {
+		t.Fatal(err)
+	}
+	g2, state, err := c2.Lease("w2")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("lease 2: %v %v", state, err)
+	}
+	if g2.Shard == g0.Shard || g2.Shard == g1.Shard {
+		t.Fatalf("recovered coordinator re-granted shard %d", g2.Shard)
+	}
+	if err := c2.Complete("w2", g2.LeaseID, g2.Shard, run(g2.Shard, g2.Count)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("campaign did not finish after recovery")
+	}
+	if st := c2.Status(); !st.Complete || !st.Validated {
+		t.Fatalf("recovered campaign not validated: %+v", st)
+	}
+	if got, want := mergedOutput(t, c2, 2), unshardedOutput(t, 2); got != want {
+		t.Error("merged output differs from unsharded run after coordinator restart")
+	}
+}
+
+// TestRecoveryRefusesMixedCampaigns: reopening a campaign directory with
+// a different command or shard count must fail loudly.
+func TestRecoveryRefusesMixedCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := coord.New(dir, coord.Spec{Command: campaignCommand, Shards: 2}, coord.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.New(dir, coord.Spec{Command: []string{"experiments", "table3"}, Shards: 2},
+		coord.Options{}); err == nil || !strings.Contains(err.Error(), "refusing to mix campaigns") {
+		t.Fatalf("foreign command accepted: %v", err)
+	}
+	if _, err := coord.New(dir, coord.Spec{Command: campaignCommand, Shards: 5},
+		coord.Options{}); err == nil || !strings.Contains(err.Error(), "refusing to mix campaigns") {
+		t.Fatalf("foreign shard count accepted: %v", err)
+	}
+}
+
+// TestCompleteRejectsForeignArtifacts: completions carrying the wrong
+// engine, command, or shard coordinates must be refused — they would
+// poison the merge.
+func TestCompleteRejectsForeignArtifacts(t *testing.T) {
+	c, err := coord.New(t.TempDir(), coord.Spec{Command: campaignCommand, Shards: 2}, coord.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, state, err := c.Lease("w1")
+	if err != nil || state != coord.Granted {
+		t.Fatalf("lease: %v %v", state, err)
+	}
+	// Wrong shard coordinates: an artifact of shard 1 reported as shard 0.
+	other, err := experiments.RunShard(campaignCommand, exec.Shard{Index: 1, Count: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w1", g.LeaseID, g.Shard, other); err == nil {
+		t.Error("artifact with foreign shard coordinates accepted")
+	}
+	// Wrong command.
+	foreign, err := experiments.RunShard([]string{"experiments", "table3"}, exec.Shard{Index: 0, Count: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("w1", g.LeaseID, g.Shard, foreign); err == nil {
+		t.Error("artifact recording a foreign command accepted")
+	}
+	// Garbage bytes.
+	if err := c.Complete("w1", g.LeaseID, g.Shard, []byte("{")); err == nil {
+		t.Error("undecodable artifact accepted")
+	}
+	if st := c.Status(); st.Done != 0 {
+		t.Fatalf("rejected completions still marked shards done: %+v", st)
+	}
+}

@@ -1,0 +1,170 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Wire protocol of the coordinator (served by Handler, spoken by Client),
+// mounted beside the object-store protocol on the same mux so one URL
+// serves both scheduling and results:
+//
+//	POST /v1/coord/lease      {worker}                  → 200 leaseResponse
+//	POST /v1/coord/heartbeat  {worker,lease_id,shard}   → 200, 409 lease lost
+//	POST /v1/coord/release    {worker,lease_id,shard}   → 200 (idempotent)
+//	POST /v1/coord/complete   {worker,lease_id,shard,
+//	                           artifact: <shard JSON>}  → 200 {state: ok|done},
+//	                                                      400 bad artifact
+//	GET  /v1/coord/status                               → 200 Status
+//
+// Every request carries the client's engine version in X-Flit-Engine and
+// is fenced against the campaign's — the same per-request fence the
+// object protocol applies, because a worker built from a different engine
+// would compute artifacts that are not interchangeable. 409 is the one
+// coordination-specific status: the lease named in the request is no
+// longer the shard's current one, and the worker must abandon the shard.
+const (
+	coordPathPrefix = "/v1/coord/"
+	engineHeader    = "X-Flit-Engine"
+)
+
+// StatusLeaseLost is the HTTP rendering of ErrLeaseLost.
+const StatusLeaseLost = http.StatusConflict
+
+// leaseRequest is the body of every mutating coordinator call; complete
+// additionally carries the shard artifact verbatim.
+type leaseRequest struct {
+	Worker   string          `json:"worker"`
+	LeaseID  string          `json:"lease_id,omitempty"`
+	Shard    int             `json:"shard"`
+	Artifact json.RawMessage `json:"artifact,omitempty"`
+}
+
+// leaseResponse answers a lease request: State is "granted" (Grant fields
+// are set), "wait", or "done".
+type leaseResponse struct {
+	State   string   `json:"state"`
+	Shard   int      `json:"shard,omitempty"`
+	Count   int      `json:"count,omitempty"`
+	Command []string `json:"command,omitempty"`
+	LeaseID string   `json:"lease_id,omitempty"`
+	TTLMS   int64    `json:"ttl_ms,omitempty"`
+}
+
+// maxRequestBody bounds a coordinator request body. Shard artifacts are
+// the largest payload and share the object store's envelope bound.
+const maxRequestBody = 64 << 20
+
+// Handler serves the coordinator protocol for c. Mount it at the root of
+// the same mux as store.Handler — the paths do not overlap.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(coordPathPrefix, func(w http.ResponseWriter, r *http.Request) {
+		serveCoord(c, w, r)
+	})
+	return mux
+}
+
+func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, coordPathPrefix)
+	if got := r.Header.Get(engineHeader); got != c.spec.Engine {
+		http.Error(w, fmt.Sprintf("coord: campaign is engine %q, request is %q", c.spec.Engine, got),
+			http.StatusPreconditionFailed)
+		return
+	}
+	if op == "status" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "status wants GET", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, c.Status())
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "coordinator calls want POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil || int64(len(body)) > maxRequestBody {
+		http.Error(w, "coord: unreadable or oversized request body", http.StatusBadRequest)
+		return
+	}
+	var req leaseRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "coord: malformed request body", http.StatusBadRequest)
+		return
+	}
+	switch op {
+	case "lease":
+		g, state, err := c.Lease(req.Worker)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := leaseResponse{State: "wait"}
+		switch state {
+		case Granted:
+			resp = leaseResponse{State: "granted", Shard: g.Shard, Count: g.Count,
+				Command: g.Command, LeaseID: g.LeaseID, TTLMS: g.TTL.Milliseconds()}
+		case Done:
+			resp.State = "done"
+		}
+		writeJSON(w, resp)
+	case "heartbeat":
+		answer(w, c.Heartbeat(req.Worker, req.LeaseID, req.Shard))
+	case "release":
+		answer(w, c.Release(req.Worker, req.LeaseID, req.Shard))
+	case "complete":
+		if len(req.Artifact) == 0 {
+			http.Error(w, "coord: completion carries no artifact", http.StatusBadRequest)
+			return
+		}
+		if err := c.Complete(req.Worker, req.LeaseID, req.Shard, req.Artifact); err != nil {
+			answer(w, err)
+			return
+		}
+		// Tell the completing worker whether the campaign just finished: a
+		// coordinator running -exit-when-done stops accepting connections the
+		// moment the last shard lands, so the worker cannot count on one more
+		// lease poll to learn the campaign is over.
+		resp := leaseResponse{State: "ok"}
+		select {
+		case <-c.Done():
+			resp.State = "done"
+		default:
+		}
+		writeJSON(w, resp)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// answer maps a coordinator-method error to its HTTP status: lease loss is
+// the worker's 409 signal to abandon the shard; a validation failure is
+// the client's fault (400); anything else is the server's (500).
+func answer(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusOK)
+	case errors.Is(err, ErrLeaseLost):
+		http.Error(w, err.Error(), StatusLeaseLost)
+	case IsBadRequest(err):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data)
+}

@@ -1,0 +1,113 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/store"
+)
+
+// The journal is the coordinator's crash-safety story: one JSON file,
+// rewritten through store.WriteFileAtomic after every acknowledged state
+// change, so the file on disk is always one complete, internally
+// consistent snapshot — never a torn one. Recovery is therefore trivial
+// (read the newest snapshot) and conservative: an acknowledged lease
+// stays leased across a restart (its worker keeps heartbeating the same
+// lease ID), an acknowledged completion stays completed, and nothing is
+// ever double-scheduled, because the journal is written *before* the
+// acknowledgment leaves the coordinator.
+
+// journalShard is one shard's persisted state.
+type journalShard struct {
+	Done         bool   `json:"done,omitempty"`
+	Artifact     string `json:"artifact,omitempty"`
+	LeaseID      string `json:"lease_id,omitempty"`
+	Worker       string `json:"worker,omitempty"`
+	ExpiryUnixMS int64  `json:"expiry_unix_ms,omitempty"`
+}
+
+// journalFile is the persisted coordinator snapshot.
+type journalFile struct {
+	Version  int            `json:"version"`
+	Spec     Spec           `json:"spec"`
+	Seq      int64          `json:"seq"`
+	Releases int64          `json:"releases"`
+	Shards   []journalShard `json:"shards"`
+}
+
+// journalLocked atomically persists the current state. Callers hold mu.
+func (c *Coordinator) journalLocked() error {
+	jf := journalFile{Version: JournalVersion, Spec: c.spec, Seq: c.seq,
+		Releases: c.releases, Shards: make([]journalShard, len(c.shards))}
+	for i := range c.shards {
+		s := &c.shards[i]
+		js := journalShard{Done: s.done, Artifact: s.artifact,
+			LeaseID: s.leaseID, Worker: s.worker}
+		if !s.expiry.IsZero() {
+			js.ExpiryUnixMS = s.expiry.UnixMilli()
+		}
+		jf.Shards[i] = js
+	}
+	buf, err := json.Marshal(jf)
+	if err != nil {
+		return fmt.Errorf("coord: encoding journal: %w", err)
+	}
+	if err := store.WriteFileAtomic(filepath.Join(c.dir, journalName), buf); err != nil {
+		return fmt.Errorf("coord: writing journal: %w", err)
+	}
+	return nil
+}
+
+// recover rebuilds coordinator state from a journal snapshot. spec is what
+// the caller asked for: empty adopts the journaled campaign, non-empty
+// must match it field for field.
+func (c *Coordinator) recover(raw []byte, spec Spec) error {
+	var jf journalFile
+	if err := json.Unmarshal(raw, &jf); err != nil {
+		return fmt.Errorf("coord: %s holds an unreadable journal (%v) — refusing to treat it as a coordinator directory",
+			c.dir, err)
+	}
+	if jf.Version != JournalVersion {
+		return fmt.Errorf("coord: journal format v%d, this build reads v%d", jf.Version, JournalVersion)
+	}
+	if jf.Spec.Shards < 1 || len(jf.Shards) != jf.Spec.Shards {
+		return fmt.Errorf("coord: journal declares %d shards but records %d", jf.Spec.Shards, len(jf.Shards))
+	}
+	if jf.Spec.Engine != spec.Engine {
+		return fmt.Errorf("coord: journaled campaign is engine %q, this build is %q: results are not interchangeable",
+			jf.Spec.Engine, spec.Engine)
+	}
+	// A caller that passes a command/shard count is re-asserting the
+	// campaign; it must be the journaled one. A caller that passes neither
+	// is resuming whatever is there.
+	if len(spec.Command) != 0 || spec.Shards != 0 {
+		if !equalCommand(spec.Command, jf.Spec.Command) || spec.Shards != jf.Spec.Shards {
+			return fmt.Errorf("coord: %s coordinates %q as %d shards; asked to serve %q as %d — refusing to mix campaigns",
+				c.dir, CommandString(jf.Spec.Command), jf.Spec.Shards, CommandString(spec.Command), spec.Shards)
+		}
+	}
+	c.spec = jf.Spec
+	c.seq = jf.Seq
+	c.releases = jf.Releases
+	c.shards = make([]shardState, len(jf.Shards))
+	for i, js := range jf.Shards {
+		s := shardState{done: js.Done, artifact: js.Artifact,
+			leaseID: js.LeaseID, worker: js.Worker}
+		if js.ExpiryUnixMS != 0 {
+			s.expiry = time.UnixMilli(js.ExpiryUnixMS)
+		}
+		if s.done {
+			// A completed shard must still have its artifact; a journal that
+			// says done while the file is gone would validate-fail at the end
+			// with a confusing error, so catch it at recovery.
+			if _, err := os.Stat(filepath.Join(c.dir, artifactsDir, s.artifact)); err != nil {
+				return fmt.Errorf("coord: journal marks shard %d complete but its artifact is unreadable: %v", i, err)
+			}
+		}
+		c.shards[i] = s
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// Runner executes one leased shard of the campaign command and returns
+// the exported shard artifact, verbatim JSON. The CLI supplies the
+// experiments-engine implementation; tests supply fakes and saboteurs.
+// The artifact must be a deterministic function of (command, shard) —
+// in particular, unstamped — so that two workers completing the same
+// shard converge on identical bytes.
+type Runner func(command []string, shard exec.Shard) ([]byte, error)
+
+// WorkerOptions tunes the worker loop. The zero value is production-shaped.
+type WorkerOptions struct {
+	// Name identifies this worker in coordinator state (default "worker").
+	Name string
+	// PollEvery is the pause between lease attempts while every shard is
+	// taken (default 500ms).
+	PollEvery time.Duration
+	// Log receives one line per lifecycle event (nil discards).
+	Log io.Writer
+}
+
+func (o *WorkerOptions) withDefaults() {
+	if o.Name == "" {
+		o.Name = "worker"
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 500 * time.Millisecond
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+}
+
+// WorkerStats summarizes one worker's campaign participation.
+type WorkerStats struct {
+	// Completed counts shards this worker ran and successfully reported.
+	Completed int
+	// Lost counts shards this worker ran to completion but whose lease was
+	// lost along the way — the artifact upload was skipped because another
+	// worker owns the shard now. The work is not wasted: run results were
+	// written through to the shared store as they were computed.
+	Lost int
+}
+
+// Work runs the worker loop against a coordinator: lease a shard, run it
+// under a heartbeat, upload the artifact, repeat until the campaign is
+// done. Cancelling ctx drains: a shard already running is finished and
+// reported (the drivers are not interruptible and the work is worth
+// keeping), a lease merely held is released, and the loop returns
+// ctx.Err(). A lost lease (expiry or supersession while running) abandons
+// only the upload and continues the loop. Transient coordinator errors
+// have already consumed the client's retry budget when they surface here,
+// so they terminate the loop rather than spin on a dead service.
+func Work(ctx context.Context, cl *Client, run Runner, opts WorkerOptions) (WorkerStats, error) {
+	opts.withDefaults()
+	var stats WorkerStats
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		g, state, err := cl.Lease(opts.Name)
+		if err != nil {
+			return stats, err
+		}
+		switch state {
+		case Done:
+			fmt.Fprintf(opts.Log, "%s: campaign complete (%d shards run here, %d lost)\n",
+				opts.Name, stats.Completed, stats.Lost)
+			return stats, nil
+		case Wait:
+			fmt.Fprintf(opts.Log, "%s: all shards leased; polling\n", opts.Name)
+			select {
+			case <-ctx.Done():
+			case <-time.After(opts.PollEvery):
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			// Drained between lease and run: hand the untouched shard back.
+			_ = cl.Release(opts.Name, g.LeaseID, g.Shard)
+			return stats, err
+		}
+		fmt.Fprintf(opts.Log, "%s: leased shard %d/%d (%s)\n", opts.Name, g.Shard, g.Count, g.LeaseID)
+		lost, done, err := runShard(ctx, cl, run, g, opts, &stats)
+		if err != nil {
+			return stats, err
+		}
+		if lost {
+			fmt.Fprintf(opts.Log, "%s: lease %s lost; shard %d abandoned to its new owner\n",
+				opts.Name, g.LeaseID, g.Shard)
+		} else {
+			fmt.Fprintf(opts.Log, "%s: shard %d complete\n", opts.Name, g.Shard)
+		}
+		if done {
+			// This completion finished the campaign. Don't go back for one
+			// more lease: under -exit-when-done the coordinator may already
+			// be draining, and that poll would race its shutdown.
+			fmt.Fprintf(opts.Log, "%s: campaign complete (%d shards run here, %d lost)\n",
+				opts.Name, stats.Completed, stats.Lost)
+			return stats, nil
+		}
+	}
+}
+
+// runShard executes one granted shard under a heartbeat goroutine and
+// reports the result. Returns lost=true when the lease was lost and the
+// completion was skipped; done=true when this completion was the
+// campaign's last.
+func runShard(ctx context.Context, cl *Client, run Runner, g Grant,
+	opts WorkerOptions, stats *WorkerStats) (lost, done bool, err error) {
+	// Heartbeat at a third of the TTL: two beats may be dropped before the
+	// lease is at risk. The goroutine stops at shard end or lease loss;
+	// it deliberately ignores ctx so a draining worker keeps its lease
+	// alive while it finishes the shard.
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	var hbLost bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		interval := g.TTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+			}
+			if err := cl.Heartbeat(opts.Name, g.LeaseID, g.Shard); err != nil {
+				// Lease loss is terminal for the heartbeat; so is an exhausted
+				// retry budget (the lease will expire anyway — treat the shard
+				// as lost rather than report over a dead coordinator).
+				if !errors.Is(err, ErrLeaseLost) {
+					fmt.Fprintf(opts.Log, "%s: heartbeat failed: %v\n", opts.Name, err)
+				}
+				hbLost = true
+				return
+			}
+		}
+	}()
+	artifact, runErr := run(g.Command, exec.Shard{Index: g.Shard, Count: g.Count})
+	stopHB()
+	wg.Wait()
+	if runErr != nil {
+		// A run failure is deterministic (the drivers are): releasing and
+		// retrying would loop forever, so surface it.
+		_ = cl.Release(opts.Name, g.LeaseID, g.Shard)
+		return false, false, fmt.Errorf("coord: running shard %d: %w", g.Shard, runErr)
+	}
+	if hbLost {
+		stats.Lost++
+		return true, false, nil
+	}
+	done, err = cl.Complete(opts.Name, g.LeaseID, g.Shard, artifact)
+	if err != nil {
+		if errors.Is(err, ErrLeaseLost) {
+			stats.Lost++
+			return true, false, nil
+		}
+		return false, false, err
+	}
+	stats.Completed++
+	return false, done, nil
+}

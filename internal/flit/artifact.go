@@ -9,6 +9,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/exec"
@@ -258,7 +260,6 @@ func ValidateShardSet(arts []*Artifact) error {
 	if len(arts) == 0 {
 		return errors.New("flit: no shard artifacts to merge")
 	}
-	seen := make([]bool, len(arts))
 	for i, a := range arts {
 		if err := a.Check(); err != nil {
 			return fmt.Errorf("artifact %d: %w", i, err)
@@ -267,25 +268,58 @@ func ValidateShardSet(arts []*Artifact) error {
 			return fmt.Errorf("artifact %d records command %q, artifact 0 records %q",
 				i, a.Command, arts[0].Command)
 		}
-		count := a.Shard.Count
-		if count < 1 {
-			count = 1
-		}
-		if count != len(arts) {
-			return fmt.Errorf("artifact %d is shard %s but %d artifacts were given",
-				i, a.Shard, len(arts))
-		}
-		if seen[a.Shard.Index] {
-			return fmt.Errorf("shard %s appears more than once", a.Shard)
-		}
-		seen[a.Shard.Index] = true
 	}
-	for i, ok := range seen {
-		if !ok {
-			return fmt.Errorf("shard %d/%d is missing", i, len(arts))
+	// All artifacts must agree on the partition width before per-index
+	// accounting means anything.
+	count := arts[0].Shard.Count
+	if count < 1 {
+		count = 1
+	}
+	for i, a := range arts {
+		c := a.Shard.Count
+		if c < 1 {
+			c = 1
 		}
+		if c != count {
+			return fmt.Errorf("artifact %d is shard %s of a %d-way sharding, artifact 0 is %d-way — refusing to merge mixed partitions",
+				i, a.Shard, c, count)
+		}
+	}
+	// Tally coverage of 0..count-1 and report every gap and every repeat
+	// in one message: the coordinator (and a human re-running workers)
+	// needs to know exactly which indices to produce or discard, not just
+	// that the set is wrong.
+	tally := make([]int, count)
+	for _, a := range arts {
+		tally[a.Shard.Index]++
+	}
+	var missing, duplicated []int
+	for i, n := range tally {
+		switch {
+		case n == 0:
+			missing = append(missing, i)
+		case n > 1:
+			duplicated = append(duplicated, i)
+		}
+	}
+	if len(missing) > 0 || len(duplicated) > 0 {
+		return fmt.Errorf("flit: incomplete %d-way shard partition: %d artifacts given, missing shard indices %s, duplicated shard indices %s",
+			count, len(arts), formatIndices(missing), formatIndices(duplicated))
 	}
 	return nil
+}
+
+// formatIndices renders a shard-index list for partition diagnostics;
+// an empty list reads as "none" so the message stays scannable.
+func formatIndices(idx []int) string {
+	if len(idx) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func equalCommand(a, b []string) bool {

@@ -188,7 +188,7 @@ func TestBackoffBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for attempt := 0; attempt < 8; attempt++ {
-		if d := capped.backoff(attempt); d > 4*time.Millisecond {
+		if d := capped.opts.backoff(attempt); d > 4*time.Millisecond {
 			t.Fatalf("backoff(%d) = %v exceeds MaxDelay", attempt, d)
 		}
 	}
@@ -198,7 +198,7 @@ func TestBackoffBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := tiny.backoff(0); d != 1 {
+	if d := tiny.opts.backoff(0); d != 1 {
 		t.Fatalf("backoff with a 1ns delay = %v, want 1ns", d)
 	}
 }

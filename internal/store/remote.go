@@ -122,6 +122,15 @@ type RemoteOptions struct {
 	MaxBody int64
 }
 
+// WithDefaults returns a copy with every zero field filled with its
+// production default — the effective values a client runs with, for
+// -stats reporting and for protocols (the coordinator's) that reuse this
+// transport discipline.
+func (o RemoteOptions) WithDefaults() RemoteOptions {
+	o.withDefaults()
+	return o
+}
+
 // withDefaults fills zero fields in place.
 func (o *RemoteOptions) withDefaults() {
 	if o.Client == nil {
@@ -206,6 +215,10 @@ func (r *Remote) URL() string { return r.base }
 // Engine returns the engine version the client fences every request to.
 func (r *Remote) Engine() string { return r.engine }
 
+// Options returns the effective transport options — the defaults-filled
+// values the client actually runs with, for -stats reporting.
+func (r *Remote) Options() RemoteOptions { return r.opts }
+
 // Metrics snapshots the transport counters.
 func (r *Remote) Metrics() RemoteMetrics {
 	return RemoteMetrics{
@@ -230,13 +243,13 @@ func retryable(err error, status int) bool {
 
 // backoff computes the sleep before retry attempt (0-based): exponential
 // from BaseDelay capped at MaxDelay, with jitter over the upper half.
-func (r *Remote) backoff(attempt int) time.Duration {
-	d := r.opts.BaseDelay
-	for i := 0; i < attempt && d < r.opts.MaxDelay; i++ {
+func (o *RemoteOptions) backoff(attempt int) time.Duration {
+	d := o.BaseDelay
+	for i := 0; i < attempt && d < o.MaxDelay; i++ {
 		d *= 2
 	}
-	if d > r.opts.MaxDelay {
-		d = r.opts.MaxDelay
+	if d > o.MaxDelay {
+		d = o.MaxDelay
 	}
 	half := int64(d / 2)
 	if half <= 0 {
@@ -255,49 +268,63 @@ func sleep(ctx context.Context, d time.Duration) {
 	}
 }
 
-// attemptResult is one request's outcome, normalized for the retry loop.
-type attemptResult struct {
-	status int
-	body   []byte
-	err    error
+// Attempt is one HTTP request's outcome, normalized for the Retry loop.
+type Attempt struct {
+	Status int
+	Body   []byte
+	Err    error
 }
 
-// do runs the retry loop for one operation: issue builds and sends one
-// attempt under its own timeout; terminal answers return immediately,
-// retryable failures back off and re-send while attempts and the
-// operation deadline last. The final attempt's result is returned with
-// exhausted=true when it was still retryable — the caller's cue to
-// degrade (miss for Get, error for Put) rather than report an answer.
-func (r *Remote) do(issue func(ctx context.Context) attemptResult) (res attemptResult, exhausted bool) {
-	ctx, cancel := context.WithTimeout(context.Background(), r.opts.Deadline)
+// Retry runs one operation under o's transport discipline — the same
+// bounded-retry/backoff/deadline loop the Remote store speaks, exported
+// so the campaign coordinator's client upholds it too. issue builds and
+// sends one attempt under its own per-attempt timeout; terminal answers
+// return immediately, retryable failures (transport errors and 5xx) back
+// off and re-send while attempts and the operation deadline last. onRetry
+// (may be nil) is called before each re-send — the metrics hook. The
+// final attempt's result is returned with exhausted=true when it was
+// still retryable: the caller's cue to degrade (miss for a Get, error for
+// a Put) rather than report an answer. Zero option fields take their
+// production defaults.
+func (o RemoteOptions) Retry(issue func(ctx context.Context) Attempt, onRetry func()) (res Attempt, exhausted bool) {
+	o.withDefaults()
+	ctx, cancel := context.WithTimeout(context.Background(), o.Deadline)
 	defer cancel()
 	for attempt := 0; ; attempt++ {
-		actx, acancel := context.WithTimeout(ctx, r.opts.AttemptTimeout)
+		actx, acancel := context.WithTimeout(ctx, o.AttemptTimeout)
 		res = issue(actx)
 		acancel()
-		if !retryable(res.err, res.status) {
+		if !retryable(res.Err, res.Status) {
 			return res, false
 		}
-		if attempt+1 >= r.opts.Attempts || ctx.Err() != nil {
+		if attempt+1 >= o.Attempts || ctx.Err() != nil {
 			return res, true
 		}
-		r.retries.Add(1)
-		sleep(ctx, r.backoff(attempt))
+		if onRetry != nil {
+			onRetry()
+		}
+		sleep(ctx, o.backoff(attempt))
 		if ctx.Err() != nil {
 			return res, true
 		}
 	}
 }
 
+// do runs the retry loop for one operation, counting re-sends in the
+// Remote's metrics.
+func (r *Remote) do(issue func(ctx context.Context) Attempt) (res Attempt, exhausted bool) {
+	return r.opts.Retry(issue, func() { r.retries.Add(1) })
+}
+
 // send issues one HTTP request and reads a size-capped body.
-func (r *Remote) send(ctx context.Context, method, key string, body []byte) attemptResult {
+func (r *Remote) send(ctx context.Context, method, key string, body []byte) Attempt {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, r.base+remoteKeyPath(key), reader)
 	if err != nil {
-		return attemptResult{err: err}
+		return Attempt{Err: err}
 	}
 	req.Header.Set(engineHeader, r.engine)
 	if body != nil {
@@ -306,22 +333,22 @@ func (r *Remote) send(ctx context.Context, method, key string, body []byte) atte
 	}
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
-		return attemptResult{err: err}
+		return Attempt{Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, r.opts.MaxBody+1))
 	if err != nil {
 		// A stalled or reset body after good headers is still a transport
 		// failure of this attempt.
-		return attemptResult{err: err}
+		return Attempt{Err: err}
 	}
 	if int64(len(data)) > r.opts.MaxBody {
 		// An oversized envelope is a misbehaving server: keep the status so
 		// the verb logic runs, but drop the body so it can never decode
 		// into a hit.
-		return attemptResult{status: resp.StatusCode}
+		return Attempt{Status: resp.StatusCode}
 	}
-	return attemptResult{status: resp.StatusCode, body: data}
+	return Attempt{Status: resp.StatusCode, Body: data}
 }
 
 // Get fetches and re-validates the envelope stored under key. Fail-open:
@@ -330,7 +357,7 @@ func (r *Remote) send(ctx context.Context, method, key string, body []byte) atte
 // a write-through self-heals the entry; Errors distinguishes honest
 // misses from degraded ones in the metrics.
 func (r *Remote) Get(key string) ([]byte, bool) {
-	res, exhausted := r.do(func(ctx context.Context) attemptResult {
+	res, exhausted := r.do(func(ctx context.Context) Attempt {
 		return r.send(ctx, http.MethodGet, key, nil)
 	})
 	switch {
@@ -338,16 +365,16 @@ func (r *Remote) Get(key string) ([]byte, bool) {
 		r.misses.Add(1)
 		r.errors.Add(1)
 		return nil, false
-	case res.status == http.StatusNotFound:
+	case res.Status == http.StatusNotFound:
 		r.misses.Add(1)
 		return nil, false
-	case res.status != http.StatusOK:
+	case res.Status != http.StatusOK:
 		// Engine fence (412) and any other surprise: degraded miss.
 		r.misses.Add(1)
 		r.errors.Add(1)
 		return nil, false
 	}
-	data, err := decodeEnvelope(res.body, r.engine, key)
+	data, err := decodeEnvelope(res.Body, r.engine, key)
 	if err != nil {
 		r.misses.Add(1)
 		r.errors.Add(1)
@@ -363,24 +390,24 @@ func (r *Remote) Get(key string) ([]byte, bool) {
 // fail the caller's run — the computed value is already correct in
 // memory; the cache layer counts the error and moves on.
 func (r *Remote) Put(key string, data []byte) error {
-	res, exhausted := r.do(func(ctx context.Context) attemptResult {
+	res, exhausted := r.do(func(ctx context.Context) Attempt {
 		return r.send(ctx, http.MethodPut, key, data)
 	})
 	switch {
 	case exhausted:
 		r.errors.Add(1)
-		if res.err != nil {
-			return fmt.Errorf("store: remote put: retries exhausted: %w", res.err)
+		if res.Err != nil {
+			return fmt.Errorf("store: remote put: retries exhausted: %w", res.Err)
 		}
-		return fmt.Errorf("store: remote put: retries exhausted (last status %d)", res.status)
-	case res.status == http.StatusCreated, res.status == http.StatusNoContent, res.status == http.StatusOK:
+		return fmt.Errorf("store: remote put: retries exhausted (last status %d)", res.Status)
+	case res.Status == http.StatusCreated, res.Status == http.StatusNoContent, res.Status == http.StatusOK:
 		r.puts.Add(1)
 		return nil
-	case res.status == StatusEngineMismatch:
+	case res.Status == StatusEngineMismatch:
 		r.errors.Add(1)
 		return fmt.Errorf("store: remote store is fenced to a different engine (engine %q rejected)", r.engine)
 	default:
 		r.errors.Add(1)
-		return fmt.Errorf("store: remote put: unexpected status %d", res.status)
+		return fmt.Errorf("store: remote put: unexpected status %d", res.Status)
 	}
 }

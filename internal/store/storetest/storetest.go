@@ -76,6 +76,12 @@ type Flaky struct {
 	// partial write; keep it just past the client's attempt timeout so
 	// tests stay fast. Defaults to 150ms.
 	StallFor time.Duration
+	// Match selects which requests the script applies to; requests it
+	// rejects pass through without consuming a fault. Nil matches every
+	// request. Coordinator tests use this to aim faults at the coord
+	// endpoints (lease, heartbeat, complete) while the object traffic
+	// sharing the same mux flows clean, and vice versa.
+	Match func(*http.Request) bool
 
 	mu     sync.Mutex
 	script []Fault
@@ -124,6 +130,10 @@ func (f *Flaky) next() Fault {
 
 // ServeHTTP applies the next scripted fault to this request.
 func (f *Flaky) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if f.Match != nil && !f.Match(req) {
+		f.inner.ServeHTTP(w, req)
+		return
+	}
 	switch fault := f.next(); fault {
 	case Err503:
 		http.Error(w, "storetest: scripted 503", http.StatusServiceUnavailable)

@@ -32,16 +32,25 @@
 #                    binaries: `flit store serve` on a loopback port, then
 #                    two runs sharing nothing but the URL — the second must
 #                    print byte-identical output materializing zero builds
-#                    with nonzero remote hits
+#                    with nonzero remote hits; SIGTERM must drain and exit 0
+#   coord smoke      the campaign coordinator end to end through real
+#                    binaries, worker crash included: `flit coord serve`
+#                    + two `flit work` processes, one SIGKILLed mid-shard
+#                    so its lease expires and is re-leased; the survivor
+#                    completes the campaign, the coordinator exits 0 on
+#                    its own, and the merged artifact set is byte-identical
+#                    to the unsharded run
 #   bench shard      one iteration each of BenchmarkParallelEngineSweep,
 #                    BenchmarkSpeculativeBisect, BenchmarkWarmPath,
-#                    BenchmarkPersistentStore, and BenchmarkRemoteStore
-#                    with BENCH_SHARD_JSON set, appending this run's engine
+#                    BenchmarkPersistentStore, BenchmarkRemoteStore, and
+#                    BenchmarkCoordCampaign with BENCH_SHARD_JSON set,
+#                    appending this run's engine
 #                    timings (cache cold/warm, fan-out, shard+merge, bisect
 #                    j1/j8 + spec-execs, warm_sweep_sec +
 #                    warm_skipped_builds + cache_speedup_x, store_cold_sec
 #                    + store_warm_sec + store_hits, remote_warm_sec +
-#                    remote_hits + remote_retries) to BENCH_shard.json —
+#                    remote_hits + remote_retries, coord_campaign_sec +
+#                    coord_releases) to BENCH_shard.json —
 #                    the recorded perf trajectory. The warm benches also
 #                    enforce the key-first contract: byte-identical output
 #                    with zero executables built and zero run-cache misses
@@ -155,8 +164,53 @@ test -n "$REMOTE_URL"
 diff "$SHARD_TMP/remote-cold.txt" "$SHARD_TMP/remote-warm.txt"
 grep 'builds: materialized=0' "$SHARD_TMP/remote-warm-stats.txt"
 grep 'remote: hits=[1-9]' "$SHARD_TMP/remote-warm-stats.txt"
+# Graceful shutdown: SIGTERM must drain and exit 0, not die mid-response.
 kill "$SERVE_PID"
+wait "$SERVE_PID"
+grep 'shutting down' "$SHARD_TMP/serve.txt"
+
+# Campaign-coordinator smoke: the full distributed protocol through real
+# binaries, including a worker crash. `flit coord serve` owns a 2-shard
+# table4 campaign; worker A leases a shard and stalls on it forever
+# (FLIT_WORK_STALL) while heartbeating, then is SIGKILLed mid-shard — the
+# crash the lease protocol exists for. Its lease must expire and be
+# re-leased, worker B must finish the whole campaign alone, the
+# coordinator must exit 0 on its own (-exit-when-done) reporting at least
+# one re-lease, and the merged artifact set must be byte-identical to the
+# unsharded run.
+COORD_DIR="$SHARD_TMP/campaign-coord"
+"$SHARD_TMP/flit" coord serve -dir "$COORD_DIR" -addr 127.0.0.1:0 \
+	-command "experiments table4" -shards 2 -lease-ttl 2s -exit-when-done \
+	>"$SHARD_TMP/coord.txt" 2>&1 &
+COORD_PID=$!
+trap 'kill "$COORD_PID" 2>/dev/null || true; rm -rf "$SHARD_TMP"' EXIT
+COORD_URL=""
+for _ in $(seq 1 100); do
+	COORD_URL=$(sed -n 's|.*on \(http://.*\)|\1|p' "$SHARD_TMP/coord.txt")
+	if [ -n "$COORD_URL" ]; then break; fi
+	sleep 0.1
+done
+test -n "$COORD_URL"
+FLIT_WORK_STALL=60s "$SHARD_TMP/flit" work -coord "$COORD_URL" -j 2 -v \
+	-name straggler >"$SHARD_TMP/workA.txt" 2>&1 &
+WORKA_PID=$!
+for _ in $(seq 1 100); do
+	if grep -q 'leased shard' "$SHARD_TMP/workA.txt"; then break; fi
+	sleep 0.1
+done
+grep 'leased shard' "$SHARD_TMP/workA.txt"
+kill -9 "$WORKA_PID"
+"$SHARD_TMP/flit" work -coord "$COORD_URL" -j 2 -v -stats -name finisher \
+	>"$SHARD_TMP/workB.txt" 2>"$SHARD_TMP/workB-stats.txt"
+grep 'campaign done (2 shards completed here' "$SHARD_TMP/workB.txt"
+wait "$COORD_PID"
+grep '2/2 shards complete, [1-9][0-9]* re-leases' "$SHARD_TMP/coord.txt"
+grep 'artifact set validated' "$SHARD_TMP/coord.txt"
+"$SHARD_TMP/flit" experiments -j 2 table4 >"$SHARD_TMP/coord-unsharded.txt"
+"$SHARD_TMP/flit" merge -j 2 "$COORD_DIR"/artifacts/shard-*.json \
+	>"$SHARD_TMP/coord-merged.txt"
+diff "$SHARD_TMP/coord-unsharded.txt" "$SHARD_TMP/coord-merged.txt"
 
 # Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
-	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore|BenchmarkRemoteStore' -benchtime 1x .
+	go test -run NONE -bench 'BenchmarkParallelEngineSweep|BenchmarkSpeculativeBisect|BenchmarkWarmPath|BenchmarkPersistentStore|BenchmarkRemoteStore|BenchmarkCoordCampaign' -benchtime 1x .
