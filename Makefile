@@ -74,12 +74,16 @@ remote-smoke:
 	grep -q 'remote: hits=[1-9]' $$tmp/warm-stats.txt && \
 	echo "remote smoke: byte-identical over the wire, zero builds"
 
-# The campaign coordinator end to end through real binaries, worker crash
-# included: `flit coord serve` owns a 2-shard campaign, worker A stalls on
-# its leased shard and is SIGKILLed so the lease expires and is re-leased,
-# worker B completes the campaign alone, the coordinator exits 0 on its
-# own, and the merged artifact set is byte-identical to the unsharded run.
-# (scripts/ci.sh runs the same smoke.)
+# The multi-tenant campaign coordinator end to end through real binaries,
+# worker crash included: `flit coord serve` owns a 2-shard table4
+# campaign, worker A stalls on its leased shard and is SIGKILLed so the
+# lease expires and is re-leased; during the heartbeat gap `flit coord
+# status` polls the fleet (a pure read — it must not release anything)
+# and `flit coord submit` adds a table3 campaign to the live tenancy.
+# Worker B drains both, the coordinator exits 0 on its own with at least
+# one re-lease on the wounded campaign and zero on the fresh one, and
+# each campaign's merged artifact set is byte-identical to its unsharded
+# run. (scripts/ci.sh runs the same smoke.)
 coord-smoke:
 	@tmp=$$(mktemp -d); \
 	$(GO) build -o $$tmp/flit ./cmd/flit || { rm -rf "$$tmp"; exit 1; }; \
@@ -92,6 +96,8 @@ coord-smoke:
 		if [ -n "$$url" ]; then break; fi; sleep 0.1; \
 	done; \
 	test -n "$$url" && \
+	c4=$$(sed -n 's/^campaign \(c[0-9a-f]*\): submitted "experiments table4".*/\1/p' $$tmp/coord.txt) && \
+	test -n "$$c4" && \
 	{ FLIT_WORK_STALL=60s $$tmp/flit work -coord "$$url" -j 2 -v -name straggler \
 		>$$tmp/workA.txt 2>&1 & } ; apid=$$!; \
 	for _ in $$(seq 1 100); do \
@@ -99,14 +105,23 @@ coord-smoke:
 	done; \
 	grep -q 'leased shard' $$tmp/workA.txt && \
 	kill -9 $$apid && \
+	$$tmp/flit coord status -coord "$$url" -campaign "$$c4" >$$tmp/detail.txt && \
+	grep -q 'leased to straggler' $$tmp/detail.txt && \
+	c3=$$($$tmp/flit coord submit -coord "$$url" -command "experiments table3" -shards 2 \
+		| sed -n 's/^campaign \(c[0-9a-f]*\):.*/\1/p') && \
+	test -n "$$c3" && \
 	$$tmp/flit work -coord "$$url" -j 2 -name finisher >$$tmp/workB.txt 2>&1 && \
-	grep -q 'campaign done (2 shards completed here' $$tmp/workB.txt && \
+	grep -q 'campaigns done (4 shards completed here' $$tmp/workB.txt && \
 	wait $$cpid && \
-	grep -q '2/2 shards complete, [1-9][0-9]* re-leases' $$tmp/coord.txt && \
+	grep -q "campaign $$c4: 2/2 shards complete, [1-9][0-9]* re-leases" $$tmp/coord.txt && \
+	grep -q "campaign $$c3: 2/2 shards complete, 0 re-leases" $$tmp/coord.txt && \
 	$$tmp/flit experiments -j 2 table4 >$$tmp/unsharded.txt && \
-	$$tmp/flit merge -j 2 $$tmp/campaign/artifacts/shard-*.json >$$tmp/merged.txt && \
+	$$tmp/flit merge -j 2 $$tmp/campaign/artifacts/$$c4/shard-*.json >$$tmp/merged.txt && \
 	diff $$tmp/unsharded.txt $$tmp/merged.txt && \
-	echo "coord smoke: crash re-leased, campaign byte-identical"
+	$$tmp/flit experiments -j 2 table3 >$$tmp/unsharded3.txt && \
+	$$tmp/flit merge -j 2 $$tmp/campaign/artifacts/$$c3/shard-*.json >$$tmp/merged3.txt && \
+	diff $$tmp/unsharded3.txt $$tmp/merged3.txt && \
+	echo "coord smoke: crash re-leased, two campaigns isolated and byte-identical"
 
 # One iteration of the engine benchmarks, appending their timings to
 # BENCH_shard.json (the recorded perf trajectory of the engine). The warm

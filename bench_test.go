@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -657,18 +658,26 @@ func BenchmarkRemoteStore(b *testing.B) {
 // Table 4 campaign, heartbeating, writing runs through to the shared
 // store, and uploading shard artifacts — then the collector-side merge
 // replay over the completed artifact set, asserted byte-identical to an
-// unsharded run. coord-releases counts straggler re-leases; a healthy
-// loopback campaign needs exactly zero.
+// unsharded run. A second campaign (Table 3) is then submitted over HTTP
+// to the still-running coordinator and drained by a fresh worker pair,
+// timing the multi-tenant steady state where the tenancy and shared
+// store are already warm. coord-releases counts straggler re-leases
+// across both campaigns; a healthy loopback fleet needs exactly zero.
 //
 // With BENCH_SHARD_JSON=path set, appends coord_campaign_sec /
-// coord_merge_sec / coord_releases alongside the other perf-trajectory
-// records.
+// coord_campaign2_sec / coord_campaigns / coord_merge_sec /
+// coord_releases alongside the other perf-trajectory records.
 func BenchmarkCoordCampaign(b *testing.B) {
 	command := []string{"experiments", "table4"}
+	second := []string{"experiments", "table3"}
 	const shards = 4
 	for i := 0; i < b.N; i++ {
 		dir := b.TempDir()
-		c, err := coord.New(dir, coord.Spec{Command: command, Shards: shards}, coord.Options{})
+		c, err := coord.New(dir, coord.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, _, err := c.Submit(coord.Spec{Command: command, Shards: shards})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -681,46 +690,70 @@ func BenchmarkCoordCampaign(b *testing.B) {
 		mux.Handle("/v1/coord/", coord.Handler(c))
 		srv := httptest.NewServer(mux)
 
-		t0 := time.Now()
-		var wg sync.WaitGroup
-		errs := make([]error, 2)
-		for w := 0; w < 2; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				cl, err := coord.NewClient(srv.URL, flit.EngineVersion, nil)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				tier, err := store.NewRemote(srv.URL, flit.EngineVersion, nil)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				run := func(cmd []string, shard exec.Shard) ([]byte, error) {
-					return experiments.RunShard(cmd, shard, 1, tier)
-				}
-				_, errs[w] = coord.Work(context.Background(), cl, run,
-					coord.WorkerOptions{Name: fmt.Sprintf("bench-w%d", w), PollEvery: 10 * time.Millisecond})
-			}(w)
-		}
-		wg.Wait()
-		campaignSec := time.Since(t0).Seconds()
-		srv.Close()
-		for w, err := range errs {
-			if err != nil {
-				b.Fatalf("worker %d: %v", w, err)
+		drain := func() error {
+			var wg sync.WaitGroup
+			errs := make([]error, 2)
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cl, err := coord.NewClient(srv.URL, flit.EngineVersion, nil)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					tier, err := store.NewRemote(srv.URL, flit.EngineVersion, nil)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					run := func(cmd []string, shard exec.Shard) ([]byte, error) {
+						return experiments.RunShard(cmd, shard, 1, tier)
+					}
+					_, errs[w] = coord.Work(context.Background(), cl, run,
+						coord.WorkerOptions{Name: fmt.Sprintf("bench-w%d", w), PollEvery: 10 * time.Millisecond})
+				}(w)
 			}
+			wg.Wait()
+			return errors.Join(errs...)
 		}
-		st := c.Status()
-		if !st.Complete || !st.Validated {
-			b.Fatalf("campaign did not complete and validate: %+v", st)
+
+		t0 := time.Now()
+		if err := drain(); err != nil {
+			b.Fatal(err)
+		}
+		campaignSec := time.Since(t0).Seconds()
+
+		// Second generation: submit over HTTP to the live coordinator and
+		// drain again — the marginal cost of a campaign on a warm tenancy.
+		cl, err := coord.NewClient(srv.URL, flit.EngineVersion, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		id2, created, err := cl.Submit(context.Background(), second, 2)
+		if err != nil || !created {
+			b.Fatalf("second campaign submit: created=%v err=%v", created, err)
+		}
+		t0 = time.Now()
+		if err := drain(); err != nil {
+			b.Fatal(err)
+		}
+		campaign2Sec := time.Since(t0).Seconds()
+		srv.Close()
+
+		for _, cid := range []string{id, id2} {
+			st, err := c.Status(cid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.Complete || !st.Validated {
+				b.Fatalf("campaign %s did not complete and validate: %+v", cid, st)
+			}
 		}
 
 		arts := make([]*flit.Artifact, shards)
 		for s := 0; s < shards; s++ {
-			raw, err := os.ReadFile(fmt.Sprintf("%s/artifacts/shard-%d.json", dir, s))
+			raw, err := os.ReadFile(fmt.Sprintf("%s/artifacts/%s/shard-%d.json", dir, id, s))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -751,20 +784,23 @@ func BenchmarkCoordCampaign(b *testing.B) {
 		}
 
 		b.ReportMetric(campaignSec, "coord-campaign-sec")
+		b.ReportMetric(campaign2Sec, "coord-campaign2-sec")
 		b.ReportMetric(mergeSec, "coord-merge-sec")
-		b.ReportMetric(float64(st.Releases), "coord-releases")
-		if st.Releases != 0 {
-			b.Fatalf("loopback campaign re-leased %d shards, want 0", st.Releases)
+		b.ReportMetric(float64(c.Releases()), "coord-releases")
+		if c.Releases() != 0 {
+			b.Fatalf("loopback fleet re-leased %d shards, want 0", c.Releases())
 		}
 
 		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
 			rec := map[string]any{
-				"bench":              "BenchmarkCoordCampaign",
-				"engine":             flit.EngineVersion,
-				"unix":               time.Now().Unix(),
-				"coord_campaign_sec": campaignSec,
-				"coord_merge_sec":    mergeSec,
-				"coord_releases":     st.Releases,
+				"bench":               "BenchmarkCoordCampaign",
+				"engine":              flit.EngineVersion,
+				"unix":                time.Now().Unix(),
+				"coord_campaigns":     2,
+				"coord_campaign_sec":  campaignSec,
+				"coord_campaign2_sec": campaign2Sec,
+				"coord_merge_sec":     mergeSec,
+				"coord_releases":      c.Releases(),
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

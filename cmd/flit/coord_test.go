@@ -59,14 +59,14 @@ func TestWorkCampaignEndToEnd(t *testing.T) {
 		if codes[w] != 0 {
 			t.Fatalf("worker %d: exit %d: %s", w, codes[w], outs[w].String())
 		}
-		if !strings.Contains(outs[w].String(), "campaign done") {
-			t.Errorf("worker %d did not report campaign done: %s", w, outs[w].String())
+		if !strings.Contains(outs[w].String(), "campaigns done") {
+			t.Errorf("worker %d did not report campaigns done: %s", w, outs[w].String())
 		}
 		if !strings.Contains(outs[w].String(), "remote config: attempts=4") {
 			t.Errorf("worker %d -stats missing effective transport config: %s", w, outs[w].String())
 		}
 		var n int
-		if _, err := fmt.Sscanf(afterToken(outs[w].String(), "campaign done ("), "%d", &n); err == nil {
+		if _, err := fmt.Sscanf(afterToken(outs[w].String(), "campaigns done ("), "%d", &n); err == nil {
 			completed += n
 		}
 	}
@@ -74,7 +74,7 @@ func TestWorkCampaignEndToEnd(t *testing.T) {
 		t.Errorf("workers completed %d shards between them, want 2", completed)
 	}
 
-	arts, err := filepath.Glob(filepath.Join(dir, "artifacts", "shard-*.json"))
+	arts, err := filepath.Glob(filepath.Join(dir, "artifacts", "*", "shard-*.json"))
 	if err != nil || len(arts) != 2 {
 		t.Fatalf("campaign artifacts = %v (err %v), want 2 files", arts, err)
 	}
@@ -140,8 +140,9 @@ func TestCoordServeExitWhenDone(t *testing.T) {
 }
 
 // TestCoordServeResumesJournal: a second `coord serve` over the same
-// directory resumes the journaled campaign (empty -command adopts it),
-// and a conflicting -command is refused.
+// directory resumes the journaled tenancy (no -command needed), and a
+// *different* -command over the same directory is no longer a refusal —
+// it joins the tenancy as a second campaign and the fleet drains it too.
 func TestCoordServeResumesJournal(t *testing.T) {
 	dir := t.TempDir()
 	url := startCoordServe(t, dir)
@@ -169,14 +170,93 @@ func TestCoordServeResumesJournal(t *testing.T) {
 		t.Errorf("resume did not announce the journaled command: %s", out.String())
 	}
 
-	// A different campaign over the same directory is a hard error.
-	var stdout, stderr bytes.Buffer
-	if code := run([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
-		"-command", "experiments table3", "-shards", "2"}, &stdout, &stderr); code != 1 {
-		t.Fatalf("conflicting campaign: exit %d, want 1", code)
+	// A different campaign over the same directory joins the tenancy.
+	out2 := &syncBuffer{}
+	codec2 := make(chan int, 1)
+	go func() {
+		codec2 <- run([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+			"-command", "experiments table3", "-shards", "2", "-exit-when-done"}, out2, out2)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	url2 := ""
+	for url2 == "" && time.Now().Before(deadline) {
+		if s := out2.String(); strings.Contains(s, "on http://") {
+			line := s[strings.Index(s, "on http://")+len("on "):]
+			url2 = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		}
 	}
-	if !strings.Contains(stderr.String(), "refusing to mix campaigns") {
-		t.Errorf("diagnostic does not explain the refusal: %s", stderr.String())
+	if url2 == "" {
+		t.Fatalf("second-campaign serve never announced a URL: %q", out2.String())
+	}
+	wout.Reset()
+	if code := run([]string{"work", "-coord", url2, "-j", "2"}, &wout, &wout); code != 0 {
+		t.Fatalf("worker on second campaign: exit %d: %s", code, wout.String())
+	}
+	select {
+	case code := <-codec2:
+		if code != 0 {
+			t.Fatalf("two-campaign serve exited %d: %s", code, out2.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("two-campaign serve did not exit: %s", out2.String())
+	}
+	if got := strings.Count(out2.String(), "artifact set validated"); got != 2 {
+		t.Errorf("validated %d campaigns, want 2: %s", got, out2.String())
+	}
+}
+
+// TestCoordSubmitStatusGC drives the new operator subcommands against a
+// live coordinator: submit is idempotent, status renders the fleet view
+// and the per-campaign detail, and gc (dry-run) reports its plan.
+func TestCoordSubmitStatusGC(t *testing.T) {
+	dir := t.TempDir()
+	url := startCoordServe(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"coord", "submit", "-coord", url,
+		"-command", "experiments table3", "-shards", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("submit: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "submitted \"experiments table3\" as 2 shards") {
+		t.Errorf("submit receipt missing: %s", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"coord", "submit", "-coord", url,
+		"-command", "experiments table3", "-shards", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("re-submit: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "already registered") {
+		t.Errorf("re-submit was not idempotent: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"coord", "status", "-coord", url}, &stdout, &stderr); code != 0 {
+		t.Fatalf("status: exit %d: %s", code, stderr.String())
+	}
+	fleet := stdout.String()
+	if !strings.Contains(fleet, `"experiments table4"`) || !strings.Contains(fleet, `"experiments table3"`) {
+		t.Errorf("fleet view missing a campaign: %s", fleet)
+	}
+	if strings.Count(fleet, "campaign c") != 2 {
+		t.Errorf("fleet view rows = %d, want 2: %s", strings.Count(fleet, "campaign c"), fleet)
+	}
+	// Per-campaign detail: pull an ID off the fleet view.
+	id := strings.TrimPrefix(strings.Fields(fleet)[1], "")
+	id = strings.TrimSuffix(id, ":")
+	stdout.Reset()
+	if code := run([]string{"coord", "status", "-coord", url, "-campaign", id}, &stdout, &stderr); code != 0 {
+		t.Fatalf("status -campaign: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "done 0/") {
+		t.Errorf("campaign detail missing progress: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"coord", "gc", "-coord", url, "-dry-run"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("gc -dry-run: exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "would retire 0 campaign(s), kept 2") {
+		t.Errorf("gc plan unexpected: %s", stdout.String())
 	}
 }
 
@@ -201,9 +281,23 @@ func TestWorkFlagValidation(t *testing.T) {
 	if code := run([]string{"work", "-coord", "ftp://elsewhere"}, &stdout, &stderr); code != 1 {
 		t.Errorf("bad -coord scheme: exit %d, want 1", code)
 	}
+	// -command and -shards travel together: one without the other is a
+	// usage error (an empty pair is fine — campaigns arrive via submit).
 	stderr.Reset()
-	if code := run([]string{"coord", "serve", "-dir", t.TempDir()}, &stdout, &stderr); code != 1 {
-		t.Errorf("coord serve without -command over a fresh dir: exit %d, want 1", code)
+	if code := run([]string{"coord", "serve", "-dir", t.TempDir(), "-command", "experiments table4"},
+		&stdout, &stderr); code != 1 {
+		t.Errorf("coord serve with -command but no -shards: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-command and -shards together") {
+		t.Errorf("diagnostic does not explain the pairing: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"coord", "submit", "-coord", "http://127.0.0.1:1"}, &stdout, &stderr); code != 1 {
+		t.Errorf("coord submit without -command: exit %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"coord", "status"}, &stdout, &stderr); code != 1 {
+		t.Errorf("coord status without -coord: exit %d, want 1", code)
 	}
 }
 

@@ -46,7 +46,7 @@ func serveGracefully(h http.Handler, ln net.Listener, done <-chan struct{}, stdo
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "shutting down: draining in-flight requests")
 	case <-done:
-		fmt.Fprintln(stdout, "campaign complete: draining in-flight requests")
+		fmt.Fprintln(stdout, "campaigns complete: draining in-flight requests")
 	}
 	stop()
 	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
@@ -58,36 +58,45 @@ func serveGracefully(h http.Handler, ln net.Listener, done <-chan struct{}, stdo
 	return nil
 }
 
-// cmdCoord dispatches the coordinator subcommands (today: "serve").
+// cmdCoord dispatches the coordinator subcommands.
 func cmdCoord(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return errors.New(`coord requires a subcommand: "serve"`)
+		return errors.New(`coord requires a subcommand: "serve", "status", "submit", or "gc"`)
 	}
 	switch args[0] {
 	case "serve":
 		return cmdCoordServe(args[1:], stdout, stderr)
+	case "status":
+		return cmdCoordStatus(args[1:], stdout, stderr)
+	case "submit":
+		return cmdCoordSubmit(args[1:], stdout, stderr)
+	case "gc":
+		return cmdCoordGC(args[1:], stdout, stderr)
 	default:
-		return fmt.Errorf(`unknown coord subcommand %q (want "serve")`, args[0])
+		return fmt.Errorf(`unknown coord subcommand %q (want "serve", "status", "submit", or "gc")`, args[0])
 	}
 }
 
 // cmdCoordServe runs the campaign coordinator: the flitd service. One
-// process owns one campaign directory holding the journal, the completed
-// shard artifacts, and an object store; its HTTP mux serves both the
-// coordination protocol (/v1/coord/) and the object-store protocol
-// (/v1/objects/), so workers point a single -coord URL at it for
-// scheduling *and* result write-through. A fresh directory starts the
-// campaign described by -command/-shards; a directory with a journal
-// resumes it — crash recovery is just restarting with the same -dir.
+// process owns one coordinator directory holding the journal, the
+// completed shard artifacts (one subdirectory per campaign), and an
+// object store; its HTTP mux serves both the coordination protocol
+// (/v1/coord/) and the object-store protocol (/v1/objects/), so workers
+// point a single -coord URL at it for scheduling *and* result
+// write-through. The coordinator is multi-tenant: -command/-shards
+// submits an initial campaign, `flit coord submit` adds more while it
+// runs, and a directory with a journal resumes every campaign in it —
+// crash recovery is just restarting with the same -dir. A v1
+// (single-campaign) journal from an older build migrates in place.
 func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("coord serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	dir := fs.String("dir", "", "campaign directory: journal, shard artifacts, object store (required)")
+	dir := fs.String("dir", "", "coordinator directory: journal, shard artifacts, object store (required)")
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
-	commandStr := fs.String("command", "", `campaign command, e.g. "experiments table4" (required for a new campaign)`)
-	shards := fs.Int("shards", 0, "shard count for a new campaign")
+	commandStr := fs.String("command", "", `initial campaign command, e.g. "experiments table4" (more arrive via flit coord submit)`)
+	shards := fs.Int("shards", 0, "shard count for the initial campaign")
 	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "lease lifetime without a heartbeat")
-	exitWhenDone := fs.Bool("exit-when-done", false, "exit once the campaign completes and validates")
+	exitWhenDone := fs.Bool("exit-when-done", false, "exit once every submitted campaign completes and validates")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -97,15 +106,34 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("coord serve takes no positional arguments (got %q)", fs.Args())
 	}
-	spec := coord.Spec{Command: strings.Fields(*commandStr), Shards: *shards}
-	c, err := coord.New(*dir, spec, coord.Options{LeaseTTL: *leaseTTL})
+	if (*commandStr == "") != (*shards == 0) {
+		return errors.New("coord serve wants -command and -shards together (or neither)")
+	}
+	c, err := coord.New(*dir, coord.Options{LeaseTTL: *leaseTTL})
 	if err != nil {
 		return err
 	}
-	// The campaign's shared object store lives inside the campaign
-	// directory: worker write-through lands here, so a re-leased shard's
-	// replacement replays its predecessor's results as warm hits.
-	d, err := store.Open(filepath.Join(*dir, "store"), c.Spec().Engine)
+	if *commandStr != "" {
+		id, created, err := c.Submit(coord.Spec{Command: strings.Fields(*commandStr), Shards: *shards})
+		if err != nil {
+			return err
+		}
+		if created {
+			fmt.Fprintf(stdout, "campaign %s: submitted %q as %d shards\n", id, *commandStr, *shards)
+		} else {
+			fmt.Fprintf(stdout, "campaign %s: already registered, resuming\n", id)
+		}
+	}
+	for _, ci := range c.Campaigns() {
+		fmt.Fprintf(stdout, "campaign %s: coordinating %q as %d shards (%d/%d done)\n",
+			ci.ID, coord.CommandString(ci.Command), ci.Shards, ci.Done, ci.Shards)
+	}
+	// The shared object store lives inside the coordinator directory:
+	// worker write-through lands here, so a re-leased shard's replacement
+	// replays its predecessor's results as warm hits — across campaigns
+	// too, because store keys are injective over the same coordinates
+	// that name a campaign.
+	d, err := store.Open(filepath.Join(*dir, "store"), c.Engine())
 	if err != nil {
 		return err
 	}
@@ -116,8 +144,8 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("coord serve: %w", err)
 	}
-	fmt.Fprintf(stdout, "coordinating %q as %d shards (engine %s) on http://%s\n",
-		coord.CommandString(c.Spec().Command), c.Spec().Shards, c.Spec().Engine, ln.Addr())
+	fmt.Fprintf(stdout, "coordinating %d campaign(s) (engine %s) on http://%s\n",
+		len(c.Campaigns()), c.Engine(), ln.Addr())
 	var done <-chan struct{}
 	if *exitWhenDone {
 		done = c.Done()
@@ -125,26 +153,190 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	if err := serveGracefully(mux, ln, done, stdout); err != nil {
 		return err
 	}
-	st := c.Status()
-	fmt.Fprintf(stdout, "campaign: %d/%d shards complete, %d re-leases\n", st.Done, st.Shards, st.Releases)
-	if st.Complete {
-		if !st.Validated {
-			return fmt.Errorf("campaign artifacts fail merge validation: %s", st.Problem)
+	var invalid []string
+	for _, ci := range c.Campaigns() {
+		fmt.Fprintf(stdout, "campaign %s: %d/%d shards complete, %d re-leases\n",
+			ci.ID, ci.Done, ci.Shards, ci.Releases)
+		if !ci.Complete {
+			continue
 		}
-		fmt.Fprintf(stdout, "artifact set validated; merge with: flit merge %s\n",
-			filepath.Join(c.ArtifactDir(), "shard-*.json"))
+		if !ci.Validated {
+			invalid = append(invalid, fmt.Sprintf("%s: %s", ci.ID, ci.Problem))
+			continue
+		}
+		fmt.Fprintf(stdout, "campaign %s: artifact set validated; merge with: flit merge %s\n",
+			ci.ID, filepath.Join(c.ArtifactDir(ci.ID), "shard-*.json"))
+	}
+	if len(invalid) > 0 {
+		return fmt.Errorf("campaign artifacts fail merge validation: %s", strings.Join(invalid, "; "))
 	}
 	return nil
 }
 
-// cmdWork runs the worker loop against a campaign coordinator: lease a
-// shard, run the recorded command with the ordinary experiments drivers,
-// upload the artifact, repeat until the campaign is done. The
-// coordinator's own object store is attached as the engine cache's
-// persistent tier (optionally fronted by a local -store DIR), and the
-// shared -remote-retries/-remote-timeout knobs shape both the scheduling
-// client and the store client. SIGINT/SIGTERM drains: the shard already
-// running is finished and reported, then the loop exits 0.
+// coordClient builds the engine-fenced scheduling client the one-shot
+// coord subcommands (status, submit, gc) share.
+func coordClient(coordURL string, retries int, timeout time.Duration) (*coord.Client, error) {
+	if coordURL == "" {
+		return nil, errors.New("-coord URL is required")
+	}
+	opts, err := transportOptions(retries, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return coord.NewClient(coordURL, flit.EngineVersion, opts)
+}
+
+// cmdCoordStatus renders the fleet view of a running coordinator: one
+// line per campaign, or the per-lease detail of one campaign with
+// -campaign. It is a pure read — the coordinator mutates no scheduling
+// state answering it, so operators can poll as hard as they like.
+func cmdCoordStatus(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coord status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coordURL := fs.String("coord", "", "campaign coordinator URL (required)")
+	campaign := fs.String("campaign", "", "campaign ID: show per-shard detail instead of the fleet view")
+	retries, timeout := addTransportFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("coord status takes no positional arguments (got %q)", fs.Args())
+	}
+	cl, err := coordClient(*coordURL, *retries, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *campaign != "" {
+		st, err := cl.Status(ctx, *campaign)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "campaign %s: %q as %d shards (engine %s)\n",
+			st.ID, coord.CommandString(st.Command), st.Shards, st.Engine)
+		fmt.Fprintf(stdout, "  done %d/%d, %d re-leases%s\n", st.Done, st.Shards, st.Releases, statusSuffix(st.Complete, st.Validated, st.Problem))
+		for _, l := range st.Leases {
+			expiry := fmt.Sprintf("expires in %dms", l.ExpiresMS)
+			if l.ExpiresMS < 0 {
+				// Expired but not reclaimed: the next heartbeat revives it, the
+				// next lease poll sweeps it. Status only reports the gap.
+				expiry = fmt.Sprintf("expired %dms ago, awaiting sweep or revival", -l.ExpiresMS)
+			}
+			fmt.Fprintf(stdout, "  shard %d leased to %s (%s, %s)\n", l.Shard, l.Worker, l.LeaseID, expiry)
+		}
+		return nil
+	}
+	infos, err := cl.Campaigns(ctx)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Fprintln(stdout, "no campaigns submitted")
+		return nil
+	}
+	for _, ci := range infos {
+		fmt.Fprintf(stdout, "campaign %s: %q as %d shards — done %d/%d, %d leased, %d re-leases%s\n",
+			ci.ID, coord.CommandString(ci.Command), ci.Shards, ci.Done, ci.Shards,
+			ci.Leases, ci.Releases, statusSuffix(ci.Complete, ci.Validated, ci.Problem))
+	}
+	return nil
+}
+
+// statusSuffix renders a campaign's terminal state for the status views.
+func statusSuffix(complete, validated bool, problem string) string {
+	switch {
+	case !complete:
+		return ""
+	case validated:
+		return " — complete, validated"
+	default:
+		return fmt.Sprintf(" — complete, VALIDATION FAILED: %s", problem)
+	}
+}
+
+// cmdCoordSubmit registers a campaign with a running coordinator.
+// Submission is idempotent: re-submitting the same command and shard
+// count names the existing campaign, so supervisors can submit on every
+// start without double-scheduling.
+func cmdCoordSubmit(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coord submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coordURL := fs.String("coord", "", "campaign coordinator URL (required)")
+	commandStr := fs.String("command", "", `campaign command, e.g. "experiments table4" (required)`)
+	shards := fs.Int("shards", 0, "shard count (required)")
+	retries, timeout := addTransportFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *commandStr == "" || *shards < 1 {
+		return errors.New(`coord submit requires -command "..." and -shards N`)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("coord submit takes no positional arguments (got %q)", fs.Args())
+	}
+	cl, err := coordClient(*coordURL, *retries, *timeout)
+	if err != nil {
+		return err
+	}
+	id, created, err := cl.Submit(context.Background(), strings.Fields(*commandStr), *shards)
+	if err != nil {
+		return err
+	}
+	if created {
+		fmt.Fprintf(stdout, "campaign %s: submitted %q as %d shards\n", id, *commandStr, *shards)
+	} else {
+		fmt.Fprintf(stdout, "campaign %s: already registered\n", id)
+	}
+	return nil
+}
+
+// cmdCoordGC asks a running coordinator to retire superseded completed
+// campaign generations — the server-side form of `flit gc`, riding the
+// coordinator's ownership of the journal so no artifact a live campaign
+// references can be deleted out from under it.
+func cmdCoordGC(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coord gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coordURL := fs.String("coord", "", "campaign coordinator URL (required)")
+	keep := fs.Int("keep", 1, "completed generations to keep per command")
+	dryRun := fs.Bool("dry-run", false, "plan the retirement without changing anything")
+	retries, timeout := addTransportFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("coord gc takes no positional arguments (got %q)", fs.Args())
+	}
+	cl, err := coordClient(*coordURL, *retries, *timeout)
+	if err != nil {
+		return err
+	}
+	res, err := cl.GC(context.Background(), *keep, *dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "retired"
+	if *dryRun {
+		verb = "would retire"
+	}
+	for _, id := range res.Retired {
+		fmt.Fprintf(stdout, "campaign %s: %s (superseded generation)\n", id, verb)
+	}
+	fmt.Fprintf(stdout, "%s %d campaign(s), kept %d\n", verb, len(res.Retired), res.Kept)
+	return nil
+}
+
+// cmdWork runs the worker loop against a campaign coordinator: list the
+// campaigns, lease a shard of the first incomplete one, run the recorded
+// command with the ordinary experiments drivers, upload the artifact,
+// repeat until every campaign is done — the fleet drains one campaign
+// and picks up the next without restarting. The coordinator's own object
+// store is attached as the engine cache's persistent tier (optionally
+// fronted by a local -store DIR), and the shared
+// -remote-retries/-remote-timeout knobs shape both the scheduling client
+// and the store client. SIGINT/SIGTERM drains: scheduling calls are
+// cancelled immediately, but the shard already running is finished and
+// reported, then the loop exits 0.
 func cmdWork(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("work", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -224,7 +416,7 @@ func cmdWork(args []string, stdout, stderr io.Writer) error {
 	}
 	switch {
 	case werr == nil:
-		fmt.Fprintf(stdout, "worker %s: campaign done (%d shards completed here, %d lost to re-lease)\n",
+		fmt.Fprintf(stdout, "worker %s: campaigns done (%d shards completed here, %d lost to re-lease)\n",
 			*name, wstats.Completed, wstats.Lost)
 		return nil
 	case errors.Is(werr, context.Canceled):

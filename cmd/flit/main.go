@@ -16,8 +16,11 @@
 //	flit store stats -store DIR
 //	flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
 //	flit store serve -dir DIR [-addr HOST:PORT]
-//	flit coord serve -dir DIR -command "experiments sweep" -shards N
+//	flit coord serve -dir DIR [-command "experiments sweep" -shards N]
 //	                 [-addr HOST:PORT] [-lease-ttl D] [-exit-when-done]
+//	flit coord submit -coord URL -command "experiments sweep" -shards N
+//	flit coord status -coord URL [-campaign ID]
+//	flit coord gc -coord URL [-keep N] [-dry-run]
 //	flit work -coord URL [-j N] [-name ID] [-store DIR]
 //
 // "sweep" renders the sampled end-to-end digest of every subsystem on a
@@ -77,25 +80,36 @@
 // -remote-timeout D (per-operation deadline), which require -remote (or
 // -coord) and are reported back as effective values by -stats.
 //
-// Distributed campaigns: `flit coord serve` owns one campaign — the
-// recorded command, the shard count, the engine version — and `flit work
-// -coord URL` workers lease shard indices from it instead of being
-// assigned them by hand. Leases are time-bounded and renewed by
-// heartbeat; a worker that crashes or stalls stops heartbeating and its
-// shard is re-leased to the next worker that asks. Completions are
-// last-writer-wins — shard artifacts are deterministic and unstamped, so
-// duplicate or late uploads carry identical bytes and are accepted
-// idempotently. The coordinator journals its state atomically before
-// every acknowledgment; restarting it with the same -dir resumes the
-// campaign exactly (a conflicting -command is refused). The same mux
-// serves the object-store protocol, so workers write runs through to the
-// campaign's shared store and a re-leased shard replays its
-// predecessor's finished cells as warm hits. On the final completion the
-// coordinator validates the artifact set server-side; -exit-when-done
-// then exits 0. SIGINT/SIGTERM drain cleanly on both sides: the
-// coordinator and store server stop accepting, finish in-flight
-// requests, and exit 0; a worker finishes and reports the shard it is
-// running, then exits 0.
+// Distributed campaigns: `flit coord serve` owns a *set* of campaigns —
+// each a recorded command, a shard count, and the engine version, keyed
+// by a campaign ID derived from exactly those coordinates — and `flit
+// work -coord URL` workers lease shard indices from it instead of being
+// assigned them by hand, draining one campaign and picking up the next.
+// Campaigns are submitted at boot (-command/-shards) or while the
+// coordinator runs (`flit coord submit`); submission is idempotent by
+// spec. Leases are time-bounded and renewed by heartbeat; a worker that
+// crashes or stalls stops heartbeating and its shard is re-leased to the
+// next worker that asks — and only a lease request reclaims, so `flit
+// coord status` (the fleet view, or one campaign's per-lease detail with
+// -campaign) is a pure read that never disturbs scheduling. Completions
+// are last-writer-wins — shard artifacts are deterministic and
+// unstamped, so duplicate or late uploads carry identical bytes and are
+// accepted idempotently. The coordinator journals its state atomically
+// before every acknowledgment; restarting it with the same -dir resumes
+// every campaign exactly (an older single-campaign journal migrates in
+// place). The same mux serves the object-store protocol, so workers
+// write runs through to the coordinator's shared store and a re-leased
+// shard replays its predecessor's finished cells as warm hits — across
+// campaigns too, because store keys are injective over the same
+// coordinates that name a campaign. On each campaign's final completion
+// the coordinator validates its artifact set server-side;
+// -exit-when-done exits 0 once every submitted campaign has. `flit
+// coord gc` retires superseded completed generations (same command,
+// older submission) server-side, inside the journal's ownership
+// boundary. SIGINT/SIGTERM drain cleanly on both sides: the coordinator
+// and store server stop accepting, finish in-flight requests, and exit
+// 0; a worker cancels its scheduling polls immediately but finishes and
+// reports the shard it is running, then exits 0.
 //
 // Incremental campaigns: with -warm-start in effect, -delta-out FILE
 // writes a structured DeltaReport after the run — which build/run keys are
@@ -193,8 +207,11 @@ func usage(w io.Writer) {
   flit store stats -store DIR
   flit store gc -store DIR [-max-entries N] [-max-bytes N] [-dry-run]
   flit store serve -dir DIR [-addr HOST:PORT]
-  flit coord serve -dir DIR -command "experiments sweep" -shards N
+  flit coord serve -dir DIR [-command "experiments sweep" -shards N]
                    [-addr HOST:PORT] [-lease-ttl D] [-exit-when-done]
+  flit coord submit -coord URL -command "experiments sweep" -shards N
+  flit coord status -coord URL [-campaign ID]
+  flit coord gc -coord URL [-keep N] [-dry-run]
   flit work -coord URL [-j N] [-name ID] [-store DIR]
 
 experiment names: table1 figure4 figure5 figure6 table2 table3 findings
@@ -233,15 +250,22 @@ cache in front of the server; -stats adds a "remote:" traffic line.
 -remote-retries N and -remote-timeout D tune the transport (they require
 -remote or -coord; -stats reports the effective values).
 
-"flit coord serve" owns one campaign and leases its shard indices to
+"flit coord serve" owns a set of campaigns (each keyed by an ID derived
+from engine, command, and shard count) and leases their shard indices to
 "flit work -coord URL" workers over time-bounded, heartbeat-renewed
 leases: a crashed or stalled worker's shard is re-leased, duplicate or
 late completions are accepted idempotently (artifacts are deterministic),
-and the journaled coordinator resumes exactly after a restart with the
-same -dir. The coordinator's mux also serves the object-store protocol,
-so workers share one URL for scheduling and run write-through. SIGTERM
-drains both sides cleanly (exit 0); -exit-when-done exits once the
-completed artifact set validates server-side.
+and the journaled coordinator resumes every campaign exactly after a
+restart with the same -dir (older single-campaign journals migrate).
+"flit coord submit" registers campaigns while it runs (idempotent by
+spec); workers drain one campaign, then pick up the next. "flit coord
+status" renders the fleet view (or one campaign's leases with -campaign)
+as a pure read — it never reclaims a lease. "flit coord gc" retires
+superseded completed generations server-side. The coordinator's mux also
+serves the object-store protocol, so workers share one URL for
+scheduling and run write-through. SIGTERM drains both sides cleanly
+(exit 0); -exit-when-done exits once every campaign's completed artifact
+set validates server-side.
 
 "flit delta" diffs two artifact sets offline (no re-running): each set is
 validated like merge; "flit gc" prunes superseded artifact generations

@@ -22,7 +22,9 @@ import (
 // does. Unlike the store client it does NOT fail open: scheduling calls
 // are cheap and their answers change what the worker does next, so an
 // exhausted retry budget surfaces as an error the worker loop backs off
-// on, not as a silent miss.
+// on, not as a silent miss. Every method takes a context: the retry
+// loop's deadline is clipped to it, so a draining worker's cancellation
+// interrupts an in-flight backoff instead of riding it out.
 type Client struct {
 	base    string
 	engine  string
@@ -62,19 +64,24 @@ func (cl *Client) Retries() int64 { return cl.retries.Load() }
 // the terminal answer. When out is non-nil a 200 body must decode into it
 // — a 200 whose body does not parse is a damaged response (truncation,
 // bit rot), which is a transport failure of that attempt and retried,
-// exactly as the store client treats a damaged envelope.
-func (cl *Client) do(method, op string, body []byte, out any) error {
-	res, exhausted := cl.opts.Retry(func(ctx context.Context) store.Attempt {
+// exactly as the store client treats a damaged envelope. The damaged
+// attempt keeps its status and body so an exhausted budget reports what
+// the server actually said, not "status 0".
+func (cl *Client) do(ctx context.Context, method, op string, body []byte, out any) error {
+	res, exhausted := cl.opts.Retry(ctx, func(ctx context.Context) store.Attempt {
 		a := cl.send(ctx, method, op, body)
 		if a.Err == nil && a.Status == http.StatusOK && out != nil {
 			if err := json.Unmarshal(a.Body, out); err != nil {
-				return store.Attempt{Err: fmt.Errorf("malformed response: %w", err)}
+				a.Err = fmt.Errorf("malformed response: %w", err)
 			}
 		}
 		return a
 	}, func() { cl.retries.Add(1) })
 	if exhausted {
 		if res.Err != nil {
+			if res.Status != 0 {
+				return fmt.Errorf("coord: %s: retries exhausted (last status %d): %w", op, res.Status, res.Err)
+			}
 			return fmt.Errorf("coord: %s: retries exhausted: %w", op, res.Err)
 		}
 		return fmt.Errorf("coord: %s: retries exhausted (last status %d)", op, res.Status)
@@ -82,13 +89,13 @@ func (cl *Client) do(method, op string, body []byte, out any) error {
 	return classify(op, res)
 }
 
-// call POSTs one coordinator operation.
-func (cl *Client) call(op string, req leaseRequest, out any) error {
+// call POSTs one campaign-scoped coordinator operation.
+func (cl *Client) call(ctx context.Context, campaign, op string, req leaseRequest, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("coord: encoding %s request: %w", op, err)
 	}
-	return cl.do(http.MethodPost, op, body, out)
+	return cl.do(ctx, http.MethodPost, campaign+"/"+op, body, out)
 }
 
 // send issues one request and reads a size-capped body.
@@ -105,11 +112,7 @@ func (cl *Client) send(ctx context.Context, method, op string, body []byte) stor
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	client := cl.opts.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
+	resp, err := cl.opts.Client.Do(req)
 	if err != nil {
 		return store.Attempt{Err: err}
 	}
@@ -128,6 +131,8 @@ func classify(op string, res store.Attempt) error {
 		return nil
 	case StatusLeaseLost:
 		return ErrLeaseLost
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s)", ErrNoCampaign, op)
 	case http.StatusPreconditionFailed:
 		return fmt.Errorf("coord: %s: coordinator runs a different engine: %s", op, strings.TrimSpace(string(res.Body)))
 	default:
@@ -135,11 +140,49 @@ func classify(op string, res store.Attempt) error {
 	}
 }
 
-// Lease asks for a shard. The returned state is Granted (the Grant is
-// valid), Wait (poll again after a beat), or Done (campaign complete).
-func (cl *Client) Lease(worker string) (Grant, LeaseState, error) {
+// Campaigns lists the coordinator's tenancy in submission order.
+func (cl *Client) Campaigns(ctx context.Context) ([]CampaignInfo, error) {
+	var infos []CampaignInfo
+	if err := cl.do(ctx, http.MethodGet, "campaigns", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Submit registers a campaign (idempotently: re-submitting a spec the
+// coordinator already holds names the existing campaign, created=false).
+func (cl *Client) Submit(ctx context.Context, command []string, shards int) (id string, created bool, err error) {
+	body, err := json.Marshal(submitRequest{Command: command, Shards: shards})
+	if err != nil {
+		return "", false, fmt.Errorf("coord: encoding submit request: %w", err)
+	}
+	var sr submitResponse
+	if err := cl.do(ctx, http.MethodPost, "campaigns", body, &sr); err != nil {
+		return "", false, err
+	}
+	return sr.ID, sr.Created, nil
+}
+
+// GC asks the coordinator to retire superseded completed campaign
+// generations, keeping the newest keep per command.
+func (cl *Client) GC(ctx context.Context, keep int, dryRun bool) (GCResult, error) {
+	body, err := json.Marshal(gcRequest{Keep: keep, DryRun: dryRun})
+	if err != nil {
+		return GCResult{}, fmt.Errorf("coord: encoding gc request: %w", err)
+	}
+	var res GCResult
+	if err := cl.do(ctx, http.MethodPost, "gc", body, &res); err != nil {
+		return GCResult{}, err
+	}
+	return res, nil
+}
+
+// Lease asks for a shard of the campaign. The returned state is Granted
+// (the Grant is valid), Wait (poll again after a beat, or try another
+// campaign), or Done (campaign complete).
+func (cl *Client) Lease(ctx context.Context, campaign, worker string) (Grant, LeaseState, error) {
 	var lr leaseResponse
-	if err := cl.call("lease", leaseRequest{Worker: worker}, &lr); err != nil {
+	if err := cl.call(ctx, campaign, "lease", leaseRequest{Worker: worker}, &lr); err != nil {
 		return Grant{}, Wait, err
 	}
 	switch lr.State {
@@ -157,30 +200,34 @@ func (cl *Client) Lease(worker string) (Grant, LeaseState, error) {
 
 // Heartbeat extends a lease; ErrLeaseLost means the shard is no longer
 // this worker's and the run should be abandoned.
-func (cl *Client) Heartbeat(worker, leaseID string, shard int) error {
-	return cl.call("heartbeat", leaseRequest{Worker: worker, LeaseID: leaseID, Shard: shard}, nil)
+func (cl *Client) Heartbeat(ctx context.Context, campaign, worker, leaseID string, shard int) error {
+	return cl.call(ctx, campaign, "heartbeat", leaseRequest{Worker: worker, LeaseID: leaseID, Shard: shard}, nil)
 }
 
 // Release hands a leased shard back (the drain path). Idempotent.
-func (cl *Client) Release(worker, leaseID string, shard int) error {
-	return cl.call("release", leaseRequest{Worker: worker, LeaseID: leaseID, Shard: shard}, nil)
+func (cl *Client) Release(ctx context.Context, campaign, worker, leaseID string, shard int) error {
+	return cl.call(ctx, campaign, "release", leaseRequest{Worker: worker, LeaseID: leaseID, Shard: shard}, nil)
 }
 
 // Complete uploads a finished shard artifact. The lease need not still be
-// live — deterministic artifacts make late and duplicate completions safe.
-// done reports whether this completion finished the whole campaign, which
-// matters under -exit-when-done: the coordinator may be gone before the
-// worker's next lease poll could say so.
-func (cl *Client) Complete(worker, leaseID string, shard int, artifact []byte) (done bool, err error) {
+// live — deterministic artifacts make late and duplicate completions
+// safe. campaignDone reports whether this completion finished the
+// campaign, allDone whether it finished every campaign the coordinator
+// holds — which matters under -exit-when-done: the coordinator may be
+// gone before the worker's next poll could say so.
+func (cl *Client) Complete(ctx context.Context, campaign, worker, leaseID string, shard int, artifact []byte) (campaignDone, allDone bool, err error) {
 	var lr leaseResponse
-	err = cl.call("complete", leaseRequest{Worker: worker, LeaseID: leaseID,
+	err = cl.call(ctx, campaign, "complete", leaseRequest{Worker: worker, LeaseID: leaseID,
 		Shard: shard, Artifact: json.RawMessage(artifact)}, &lr)
-	return err == nil && lr.State == "done", err
+	if err != nil {
+		return false, false, err
+	}
+	return lr.State == "done", lr.AllDone, nil
 }
 
-// Status fetches the campaign snapshot.
-func (cl *Client) Status() (Status, error) {
+// Status fetches one campaign's snapshot.
+func (cl *Client) Status(ctx context.Context, campaign string) (Status, error) {
 	var st Status
-	err := cl.do(http.MethodGet, "status", nil, &st)
+	err := cl.do(ctx, http.MethodGet, campaign+"/status", nil, &st)
 	return st, err
 }

@@ -1,32 +1,44 @@
 // Package coord is the campaign coordinator ("flitd"): the service that
 // turns the shard/merge protocol from a hand-orchestrated workflow into a
-// self-healing distributed one. A coordinator owns one campaign — a
-// recorded CLI command, an engine version, and an N-way sharding of the
-// command's deterministic job space — and hands out time-bounded *leases*
-// on shard indices to workers. Workers heartbeat to keep a lease alive,
-// run their shard with the ordinary experiments drivers, and report the
-// exported artifact back; the coordinator re-leases shards whose
-// heartbeats stop (worker crash, stall, network partition), accepts
+// self-healing distributed one. A coordinator owns a *set* of campaigns
+// over one shared artifact/store namespace — the natural deployment for
+// FLiT-style studies, which are many small deterministic sweeps rather
+// than one monolith. Each campaign is a recorded CLI command, an engine
+// version, and an N-way sharding of the command's deterministic job
+// space, keyed by a campaign ID derived from exactly those three
+// coordinates; the coordinator hands out time-bounded *leases* on
+// (campaign, shard) pairs to workers. Workers heartbeat to keep a lease
+// alive, run their shard with the ordinary experiments drivers, and
+// report the exported artifact back; the coordinator re-leases shards
+// whose heartbeats stop (worker crash, stall, network partition), accepts
 // duplicate completions idempotently (artifacts for the same shard are
 // deterministic and self-validating, so last-writer-wins is safe), and
 // journals every state change through the store's atomic-write helper so
-// a coordinator restart recovers all leases and completions from disk.
-// When the partition completes it runs `flit merge`'s complete-partition
-// and engine-fence validation server-side, so a campaign is only reported
-// done when the artifact set provably replays byte-identical.
+// a coordinator restart recovers every campaign's leases and completions
+// from disk. When a campaign's partition completes it runs `flit merge`'s
+// complete-partition and engine-fence validation server-side, so a
+// campaign is only reported done when the artifact set provably replays
+// byte-identical.
 //
-// The robustness invariant the whole design leans on is inherited from
-// PR 2/6/7: every shard artifact is a pure, self-describing function of
-// (engine version, command, shard coordinates). Losing a worker never
-// loses correctness — only the wall-clock already spent, and usually not
-// even that, because run results were written through to the shared store
-// and the re-leased shard replays them as warm hits.
+// Multi-tenancy leans on the same robustness invariant as everything
+// since PR 2/6/7: every shard artifact is a pure, self-describing
+// function of (engine version, command, shard coordinates), and store
+// keys are injective over the same coordinates. Two campaigns sharing
+// one coordinator and one object store therefore cannot trade results —
+// the shared-store safety story already made concurrent campaigns sound;
+// this package gives them a scheduler. Scheduling state is mutated only
+// by scheduling calls: Lease reclaims expired leases, Status and
+// Campaigns are pure reads (an operator polling status during a
+// heartbeat gap must never strand the worker that the heartbeat revival
+// path was designed to save).
 package coord
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -38,13 +50,16 @@ import (
 	"repro/internal/store"
 )
 
-// JournalVersion is the on-disk format version of the coordinator journal.
-const JournalVersion = 1
+// JournalVersion is the on-disk format version of the coordinator
+// journal. Version 2 is the multi-tenant journal holding every campaign;
+// version 1 (one campaign per coordinator, PR 8) migrates on recovery.
+const JournalVersion = 2
 
 // journalName is the journal file at the root of a coordinator directory.
 const journalName = "coord.json"
 
-// artifactsDir holds the completed shard artifacts, one file per index.
+// artifactsDir holds the completed shard artifacts, one subdirectory per
+// campaign ID, one file per shard index.
 const artifactsDir = "artifacts"
 
 // ErrLeaseLost is the terminal answer to a heartbeat, release, or
@@ -54,6 +69,11 @@ const artifactsDir = "artifacts"
 // run results it computed are already in the shared store, so the new
 // owner's run replays them as warm hits.
 var ErrLeaseLost = errors.New("coord: lease lost (expired or superseded)")
+
+// ErrNoCampaign answers any campaign-scoped call naming an ID the
+// coordinator does not hold — never submitted, or retired by GC. The
+// HTTP layer renders it 404; a worker skips the campaign and re-lists.
+var ErrNoCampaign = errors.New("coord: no such campaign")
 
 // badRequest marks an error caused by the caller's input (a malformed or
 // mismatched artifact, out-of-range shard coordinates), so the HTTP layer
@@ -78,12 +98,36 @@ type Spec struct {
 	Shards  int      `json:"shards"`
 }
 
+// CampaignID derives a campaign's identity from its spec: a short hex
+// digest of (engine, command, shard count) with NUL separators, so the
+// ID is injective over exactly the coordinates that make two shard
+// artifacts interchangeable. The derivation is deterministic across
+// processes — submitting the same spec twice names the same campaign
+// (submission is idempotent), and a v1 journal migrates to the ID its
+// campaign would have been submitted under.
+func CampaignID(spec Spec) string {
+	h := sha256.New()
+	io.WriteString(h, spec.Engine)
+	h.Write([]byte{0})
+	for _, arg := range spec.Command {
+		io.WriteString(h, arg)
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "%d", spec.Shards)
+	return fmt.Sprintf("c%x", h.Sum(nil)[:8])
+}
+
 // Options tunes a coordinator. The zero value selects production-shaped
 // defaults; tests shrink the TTL and inject a clock.
 type Options struct {
 	// LeaseTTL is how long a lease lives without a heartbeat (default 10s).
 	// Each heartbeat extends the lease by a full TTL.
 	LeaseTTL time.Duration
+	// Engine is the engine version every campaign in this coordinator is
+	// fenced to (default this build's flit.EngineVersion). A journal from
+	// a different engine refuses to open — its artifacts are not
+	// interchangeable with anything this build would schedule.
+	Engine string
 	// Now is the clock (default time.Now); tests inject a fake to drive
 	// expiry deterministically.
 	Now func() time.Time
@@ -92,6 +136,9 @@ type Options struct {
 func (o *Options) withDefaults() {
 	if o.LeaseTTL <= 0 {
 		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Engine == "" {
+		o.Engine = flit.EngineVersion
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -114,9 +161,10 @@ type LeaseState int
 const (
 	// Granted: the response carries a Grant.
 	Granted LeaseState = iota
-	// Wait: every remaining shard is currently leased; poll again.
+	// Wait: every remaining shard of the campaign is currently leased;
+	// poll again (or try another campaign).
 	Wait
-	// Done: the campaign is complete; the worker can exit.
+	// Done: the campaign is complete; the worker moves to the next one.
 	Done
 )
 
@@ -124,90 +172,186 @@ const (
 // active lease holds at a time; a shard with neither is available.
 type shardState struct {
 	done     bool
-	artifact string // file name under artifactsDir, set when done
+	artifact string // file name under the campaign's artifact dir, set when done
 	leaseID  string
 	worker   string
 	expiry   time.Time
 }
 
-// Coordinator is the campaign state machine. All methods are safe for
-// concurrent use; every mutation is journaled (atomic temp+rename) before
-// it is acknowledged, so an acknowledged lease or completion survives a
-// coordinator crash.
-type Coordinator struct {
-	dir  string
-	spec Spec
-	opts Options
-
-	mu       sync.Mutex
+// campaign is one tenancy: a spec, its per-shard lease table, its own
+// lease-ID sequence and straggler counter, and its validation verdict.
+type campaign struct {
+	id       string
+	spec     Spec
 	shards   []shardState
 	seq      int64 // lease-id counter, persisted so recovered IDs never collide
 	releases int64 // expired leases handed back to the pool (straggler metric)
-	valid    bool  // server-side merge validation passed
+	finished bool  // server-side merge validation has run
+	valid    bool
 	valErr   string
-	done     chan struct{} // closed when every shard is complete
+}
+
+func (cp *campaign) doneCount() int {
+	n := 0
+	for i := range cp.shards {
+		if cp.shards[i].done {
+			n++
+		}
+	}
+	return n
+}
+
+func (cp *campaign) complete() bool { return cp.doneCount() == len(cp.shards) }
+
+// Coordinator is the multi-campaign state machine. All methods are safe
+// for concurrent use; every mutation is journaled (atomic temp+rename)
+// before it is acknowledged, so an acknowledged submission, lease, or
+// completion survives a coordinator crash.
+type Coordinator struct {
+	dir    string
+	engine string
+	opts   Options
+
+	mu        sync.Mutex
+	order     []string             // campaign IDs in submission order
+	campaigns map[string]*campaign // keyed by CampaignID(spec)
+	done      chan struct{}        // closed when every submitted campaign is complete
+	doneFired bool
 }
 
 // New opens (creating or recovering) the coordinator rooted at dir. A
-// fresh directory requires a fully specified spec (command + shard count;
-// an empty Engine defaults to this build's flit.EngineVersion). A
-// directory holding a journal resumes that campaign: an empty spec adopts
-// the journaled one, a non-empty spec must match it — silently continuing
-// a *different* campaign over recovered state would hand out leases for
-// work nobody recorded.
-func New(dir string, spec Spec, opts Options) (*Coordinator, error) {
+// fresh directory starts empty — campaigns arrive through Submit. A
+// directory holding a journal resumes every campaign in it exactly:
+// done shards stay done, acknowledged leases keep their IDs. A journal
+// from a different engine version or a newer journal format refuses to
+// open; a version-1 (single-campaign) journal migrates to the
+// multi-tenant format in place.
+func New(dir string, opts Options) (*Coordinator, error) {
 	opts.withDefaults()
-	if spec.Engine == "" {
-		spec.Engine = flit.EngineVersion
-	}
 	if err := os.MkdirAll(filepath.Join(dir, artifactsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("coord: opening %s: %w", dir, err)
 	}
-	c := &Coordinator{dir: dir, spec: spec, opts: opts, done: make(chan struct{})}
+	c := &Coordinator{dir: dir, engine: opts.Engine, opts: opts,
+		campaigns: make(map[string]*campaign), done: make(chan struct{})}
 	raw, err := os.ReadFile(filepath.Join(dir, journalName))
 	switch {
 	case os.IsNotExist(err):
-		if len(spec.Command) == 0 || spec.Shards < 1 {
-			return nil, errors.New("coord: a new campaign needs a command and a shard count >= 1")
-		}
-		c.shards = make([]shardState, spec.Shards)
 		if err := c.journalLocked(); err != nil {
 			return nil, err
 		}
 	case err != nil:
 		return nil, fmt.Errorf("coord: reading journal: %w", err)
 	default:
-		if err := c.recover(raw, spec); err != nil {
+		if err := c.recover(raw); err != nil {
 			return nil, err
 		}
 	}
-	if c.doneCountLocked() == len(c.shards) {
-		c.finishLocked()
+	for _, id := range c.order {
+		if cp := c.campaigns[id]; cp.complete() {
+			c.finishLocked(cp)
+		}
 	}
+	// Deliberately no checkAllDoneLocked here: a caller resuming a fully
+	// completed journal usually submits fresh campaigns right after New,
+	// and the done channel must not latch closed before those arrive.
+	// Done() runs the check when the channel is first handed out.
 	return c, nil
 }
 
 // Dir returns the coordinator's root directory.
 func (c *Coordinator) Dir() string { return c.dir }
 
-// Spec returns the campaign spec.
-func (c *Coordinator) Spec() Spec { return c.spec }
+// Engine returns the engine version every campaign here is fenced to.
+func (c *Coordinator) Engine() string { return c.engine }
 
-// ArtifactDir returns the directory completed shard artifacts land in.
-func (c *Coordinator) ArtifactDir() string { return filepath.Join(c.dir, artifactsDir) }
+// ArtifactDir returns the directory a campaign's completed shard
+// artifacts land in.
+func (c *Coordinator) ArtifactDir(campaign string) string {
+	return filepath.Join(c.dir, artifactsDir, campaign)
+}
 
-// Done returns a channel closed once every shard has completed and the
-// server-side merge validation has run.
-func (c *Coordinator) Done() <-chan struct{} { return c.done }
+// Done returns a channel closed once at least one campaign has been
+// submitted and every submitted campaign has completed (and had its
+// server-side merge validation run). It never re-opens: a campaign
+// submitted after the channel closes does not re-arm it, so a
+// `-exit-when-done` coordinator should receive its submissions before
+// the last running campaign finishes. The completeness check also runs
+// here, so resuming a fully finished journal and then waiting on Done
+// still fires — but only after any boot-time submissions have landed.
+func (c *Coordinator) Done() <-chan struct{} {
+	c.mu.Lock()
+	c.checkAllDoneLocked()
+	c.mu.Unlock()
+	return c.done
+}
 
-// Lease hands out the lowest-indexed available shard. Expired leases are
-// swept first, so a crashed or stalled worker's shard is re-leased here —
-// the straggler-mitigation path.
-func (c *Coordinator) Lease(worker string) (Grant, LeaseState, error) {
+// Submit adds a campaign (idempotently) and returns its ID. The spec's
+// engine defaults to the coordinator's and must match it; the command
+// and shard count are required. Submitting a spec the coordinator
+// already holds — same engine, command, and shard count, which is
+// exactly what the ID hashes — returns the existing campaign with
+// created=false, so a worker fleet's supervisor can re-submit on every
+// start without double-scheduling anything.
+func (c *Coordinator) Submit(spec Spec) (id string, created bool, err error) {
+	if spec.Engine == "" {
+		spec.Engine = c.engine
+	}
+	if spec.Engine != c.engine {
+		return "", false, badRequest{fmt.Errorf("coord: campaign engine %q, coordinator is fenced to %q", spec.Engine, c.engine)}
+	}
+	if len(spec.Command) == 0 || spec.Shards < 1 {
+		return "", false, badRequest{errors.New("coord: a campaign needs a command and a shard count >= 1")}
+	}
+	id = CampaignID(spec)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	changed := c.sweepLocked()
-	if c.doneCountLocked() == len(c.shards) {
+	if cp, ok := c.campaigns[id]; ok {
+		// The ID is a digest of the spec, so a held ID should mean an equal
+		// spec; check anyway — scheduling against a colliding spec would
+		// hand out leases for work nobody records.
+		if cp.spec.Engine != spec.Engine || !equalCommand(cp.spec.Command, spec.Command) || cp.spec.Shards != spec.Shards {
+			return "", false, fmt.Errorf("coord: campaign ID collision: %s already names %q as %d shards", id, CommandString(cp.spec.Command), cp.spec.Shards)
+		}
+		return id, false, nil
+	}
+	cp := &campaign{id: id, spec: spec, shards: make([]shardState, spec.Shards)}
+	if err := os.MkdirAll(c.ArtifactDir(id), 0o755); err != nil {
+		return "", false, fmt.Errorf("coord: creating artifact dir for %s: %w", id, err)
+	}
+	c.campaigns[id] = cp
+	c.order = append(c.order, id)
+	if err := c.journalLocked(); err != nil {
+		delete(c.campaigns, id)
+		c.order = c.order[:len(c.order)-1]
+		return "", false, err
+	}
+	c.checkAllDoneLocked()
+	return id, true, nil
+}
+
+// byID resolves a campaign ID under mu.
+func (c *Coordinator) byID(campaign string) (*campaign, error) {
+	cp, ok := c.campaigns[campaign]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCampaign, campaign)
+	}
+	return cp, nil
+}
+
+// Lease hands out the lowest-indexed available shard of the campaign.
+// Expired leases are swept first — and only here: Lease is the one call
+// that reclaims, so a crashed or stalled worker's shard is re-leased the
+// moment another worker asks for work, while read paths (Status,
+// Campaigns) never disturb an expired-but-revivable lease.
+func (c *Coordinator) Lease(campaign, worker string) (Grant, LeaseState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, err := c.byID(campaign)
+	if err != nil {
+		return Grant{}, Wait, err
+	}
+	changed := c.sweepLocked(cp)
+	if cp.complete() {
 		if changed {
 			if err := c.journalLocked(); err != nil {
 				return Grant{}, Wait, err
@@ -215,19 +359,19 @@ func (c *Coordinator) Lease(worker string) (Grant, LeaseState, error) {
 		}
 		return Grant{}, Done, nil
 	}
-	for i := range c.shards {
-		s := &c.shards[i]
+	for i := range cp.shards {
+		s := &cp.shards[i]
 		if s.done || s.leaseID != "" {
 			continue
 		}
-		c.seq++
-		s.leaseID = fmt.Sprintf("L%d", c.seq)
+		cp.seq++
+		s.leaseID = fmt.Sprintf("L%d", cp.seq)
 		s.worker = worker
 		s.expiry = c.opts.Now().Add(c.opts.LeaseTTL)
 		if err := c.journalLocked(); err != nil {
 			return Grant{}, Wait, err
 		}
-		return Grant{Shard: i, Count: c.spec.Shards, Command: c.spec.Command,
+		return Grant{Shard: i, Count: cp.spec.Shards, Command: cp.spec.Command,
 			LeaseID: s.leaseID, TTL: c.opts.LeaseTTL}, Granted, nil
 	}
 	if changed {
@@ -242,12 +386,17 @@ func (c *Coordinator) Lease(worker string) (Grant, LeaseState, error) {
 // that is past its expiry but still the shard's recorded one *renews* it —
 // the shard was not promised to anyone else, so renewal cannot double-
 // schedule and saves the work already in flight (a coordinator that was
-// briefly down must not strand every worker). A lease that was superseded
-// or completed answers ErrLeaseLost.
-func (c *Coordinator) Heartbeat(worker, leaseID string, shard int) error {
+// briefly down, or an operator's status poll landing in a heartbeat gap,
+// must not strand the worker). A lease that was superseded or completed
+// answers ErrLeaseLost.
+func (c *Coordinator) Heartbeat(campaign, worker, leaseID string, shard int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s, err := c.shardByLease(leaseID, shard)
+	cp, err := c.byID(campaign)
+	if err != nil {
+		return err
+	}
+	s, err := shardByLease(cp, leaseID, shard)
 	if err != nil {
 		return err
 	}
@@ -259,10 +408,14 @@ func (c *Coordinator) Heartbeat(worker, leaseID string, shard int) error {
 // Release voluntarily returns a leased shard to the pool (the worker is
 // draining). Releasing a lease that is already gone is not an error —
 // release is the cleanup path and must be idempotent.
-func (c *Coordinator) Release(worker, leaseID string, shard int) error {
+func (c *Coordinator) Release(campaign, worker, leaseID string, shard int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s, err := c.shardByLease(leaseID, shard)
+	cp, err := c.byID(campaign)
+	if err != nil {
+		return err
+	}
+	s, err := shardByLease(cp, leaseID, shard)
 	if err != nil {
 		return nil // already expired, superseded, or completed: nothing to release
 	}
@@ -272,11 +425,11 @@ func (c *Coordinator) Release(worker, leaseID string, shard int) error {
 
 // shardByLease resolves (leaseID, shard) to the shard state iff the lease
 // is still the shard's current one.
-func (c *Coordinator) shardByLease(leaseID string, shard int) (*shardState, error) {
-	if shard < 0 || shard >= len(c.shards) {
-		return nil, badRequest{fmt.Errorf("coord: shard %d of a %d-shard campaign", shard, len(c.shards))}
+func shardByLease(cp *campaign, leaseID string, shard int) (*shardState, error) {
+	if shard < 0 || shard >= len(cp.shards) {
+		return nil, badRequest{fmt.Errorf("coord: shard %d of a %d-shard campaign", shard, len(cp.shards))}
 	}
-	s := &c.shards[shard]
+	s := &cp.shards[shard]
 	if s.done || leaseID == "" || s.leaseID != leaseID {
 		return nil, ErrLeaseLost
 	}
@@ -293,90 +446,102 @@ func (c *Coordinator) shardByLease(leaseID string, shard int) (*shardState, erro
 // duplicate completion a non-event instead of an error path. The bytes are
 // stored as received (atomic write), so duplicate completions converge on
 // identical files.
-func (c *Coordinator) Complete(worker, leaseID string, shard int, artifact []byte) error {
-	if shard < 0 || shard >= c.spec.Shards {
-		return badRequest{fmt.Errorf("coord: completion for shard %d of a %d-shard campaign", shard, c.spec.Shards)}
+//
+// campaignDone reports whether this completion finished the campaign and
+// allDone whether it finished every campaign the coordinator holds —
+// what a worker needs to know before polling a coordinator that
+// `-exit-when-done` may already be shutting down.
+func (c *Coordinator) Complete(campaign, worker, leaseID string, shard int, artifact []byte) (campaignDone, allDone bool, err error) {
+	c.mu.Lock()
+	cp, err := c.byID(campaign)
+	if err != nil {
+		c.mu.Unlock()
+		return false, false, err
+	}
+	spec := cp.spec
+	c.mu.Unlock()
+
+	if shard < 0 || shard >= spec.Shards {
+		return false, false, badRequest{fmt.Errorf("coord: completion for shard %d of a %d-shard campaign", shard, spec.Shards)}
 	}
 	a, err := flit.ReadArtifact(bytes.NewReader(artifact))
 	if err != nil {
-		return badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
+		return false, false, badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
 	}
 	if err := a.Check(); err != nil {
-		return badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
+		return false, false, badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
 	}
-	if a.Engine != c.spec.Engine {
-		return badRequest{fmt.Errorf("coord: completion artifact from engine %q, campaign is %q", a.Engine, c.spec.Engine)}
+	if a.Engine != spec.Engine {
+		return false, false, badRequest{fmt.Errorf("coord: completion artifact from engine %q, campaign is %q", a.Engine, spec.Engine)}
 	}
-	if !equalCommand(a.Command, c.spec.Command) {
-		return badRequest{fmt.Errorf("coord: completion artifact records command %q, campaign is %q", a.Command, c.spec.Command)}
+	if !equalCommand(a.Command, spec.Command) {
+		return false, false, badRequest{fmt.Errorf("coord: completion artifact records command %q, campaign is %q", a.Command, spec.Command)}
 	}
 	count := a.Shard.Count
 	if count < 1 {
 		count = 1
 	}
-	if a.Shard.Index != shard || count != c.spec.Shards {
-		return badRequest{fmt.Errorf("coord: completion for shard %d carries artifact of shard %s", shard, a.Shard)}
+	if a.Shard.Index != shard || count != spec.Shards {
+		return false, false, badRequest{fmt.Errorf("coord: completion for shard %d carries artifact of shard %s", shard, a.Shard)}
 	}
 	name := fmt.Sprintf("shard-%d.json", shard)
-	if err := store.WriteFileAtomic(filepath.Join(c.dir, artifactsDir, name), artifact); err != nil {
-		return fmt.Errorf("coord: storing shard artifact: %w", err)
+	if err := store.WriteFileAtomic(filepath.Join(c.ArtifactDir(campaign), name), artifact); err != nil {
+		return false, false, fmt.Errorf("coord: storing shard artifact: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := &c.shards[shard]
+	// Re-resolve: the campaign may have been retired while the artifact
+	// validated and hit disk. The stray file is harmless (the journal is
+	// the source of truth) but the completion is no longer recordable.
+	cp, err = c.byID(campaign)
+	if err != nil {
+		return false, false, err
+	}
+	s := &cp.shards[shard]
 	s.done = true
 	s.artifact = name
 	s.leaseID, s.worker, s.expiry = "", "", time.Time{}
 	if err := c.journalLocked(); err != nil {
-		return err
+		return false, false, err
 	}
-	if c.doneCountLocked() == len(c.shards) {
-		c.finishLocked()
+	if cp.complete() {
+		c.finishLocked(cp)
+		c.checkAllDoneLocked()
 	}
-	return nil
+	return cp.complete(), c.allDoneLocked(), nil
 }
 
-// sweepLocked expires stale leases, returning shards to the pool.
-// Reports whether anything changed (the caller journals).
-func (c *Coordinator) sweepLocked() bool {
+// sweepLocked expires the campaign's stale leases, returning shards to
+// the pool. Reports whether anything changed (the caller journals).
+// Called only from Lease — the read paths must never reclaim.
+func (c *Coordinator) sweepLocked(cp *campaign) bool {
 	now := c.opts.Now()
 	changed := false
-	for i := range c.shards {
-		s := &c.shards[i]
+	for i := range cp.shards {
+		s := &cp.shards[i]
 		if s.done || s.leaseID == "" || now.Before(s.expiry) {
 			continue
 		}
 		s.leaseID, s.worker, s.expiry = "", "", time.Time{}
-		c.releases++
+		cp.releases++
 		changed = true
 	}
 	return changed
 }
 
-func (c *Coordinator) doneCountLocked() int {
-	n := 0
-	for i := range c.shards {
-		if c.shards[i].done {
-			n++
-		}
+// finishLocked runs the server-side merge validation over the campaign's
+// completed artifact set. Validation failure does not un-complete the
+// campaign — the shards are what they are — but it is recorded and
+// surfaced by Status, so a caller never merges blind.
+func (c *Coordinator) finishLocked(cp *campaign) {
+	if cp.finished {
+		return // already validated (recovery re-entry, duplicate completion)
 	}
-	return n
-}
-
-// finishLocked runs the server-side merge validation over the completed
-// artifact set and closes the done channel. Validation failure does not
-// un-complete the campaign — the shards are what they are — but it is
-// recorded and surfaced by Status, so a caller never merges blind.
-func (c *Coordinator) finishLocked() {
-	select {
-	case <-c.done:
-		return // already finished (recovery re-entry)
-	default:
-	}
-	arts := make([]*flit.Artifact, 0, len(c.shards))
+	cp.finished = true
+	arts := make([]*flit.Artifact, 0, len(cp.shards))
 	err := func() error {
-		for i := range c.shards {
-			a, err := flit.ReadArtifactFile(filepath.Join(c.dir, artifactsDir, c.shards[i].artifact))
+		for i := range cp.shards {
+			a, err := flit.ReadArtifactFile(filepath.Join(c.ArtifactDir(cp.id), cp.shards[i].artifact))
 			if err != nil {
 				return err
 			}
@@ -385,14 +550,39 @@ func (c *Coordinator) finishLocked() {
 		return flit.ValidateShardSet(arts)
 	}()
 	if err != nil {
-		c.valid, c.valErr = false, err.Error()
+		cp.valid, cp.valErr = false, err.Error()
 	} else {
-		c.valid, c.valErr = true, ""
+		cp.valid, cp.valErr = true, ""
 	}
-	close(c.done)
 }
 
-// LeaseInfo is one live lease, as Status reports it.
+// allDoneLocked reports whether every submitted campaign is complete.
+func (c *Coordinator) allDoneLocked() bool {
+	if len(c.order) == 0 {
+		return false
+	}
+	for _, id := range c.order {
+		if !c.campaigns[id].complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAllDoneLocked closes the done channel the first time every
+// campaign is complete.
+func (c *Coordinator) checkAllDoneLocked() {
+	if !c.doneFired && c.allDoneLocked() {
+		c.doneFired = true
+		close(c.done)
+	}
+}
+
+// LeaseInfo is one recorded lease, as Status reports it. ExpiresMS goes
+// negative once the lease outlives its TTL without a heartbeat: the
+// lease is expired but *not yet reclaimed* — the next Lease call will
+// sweep it, and until then a late heartbeat revives it. Rendering the
+// gap instead of acting on it is what keeps Status a pure read.
 type LeaseInfo struct {
 	Shard     int    `json:"shard"`
 	Worker    string `json:"worker"`
@@ -400,8 +590,9 @@ type LeaseInfo struct {
 	ExpiresMS int64  `json:"expires_in_ms"`
 }
 
-// Status is a point-in-time snapshot of the campaign.
+// Status is a point-in-time snapshot of one campaign.
 type Status struct {
+	ID        string      `json:"id"`
 	Engine    string      `json:"engine"`
 	Command   []string    `json:"command"`
 	Shards    int         `json:"shards"`
@@ -414,26 +605,33 @@ type Status struct {
 	Problem   string      `json:"problem,omitempty"`
 }
 
-// Status snapshots the campaign. Stale leases are swept first, so the
-// reported leases are the live ones.
-func (c *Coordinator) Status() Status {
+// Status snapshots one campaign. It is a pure read: nothing is swept,
+// nothing is journaled, and an expired-but-unreclaimed lease is reported
+// with a negative ExpiresMS rather than released — so operators can poll
+// as hard as they like during a heartbeat gap without stranding the
+// worker whose next heartbeat would have revived the lease.
+func (c *Coordinator) Status(campaign string) (Status, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.sweepLocked() {
-		// Best-effort: a failed journal write here only delays persistence
-		// of the sweep; the next mutating call retries it.
-		_ = c.journalLocked()
+	cp, err := c.byID(campaign)
+	if err != nil {
+		return Status{}, err
 	}
+	return c.statusLocked(cp), nil
+}
+
+func (c *Coordinator) statusLocked(cp *campaign) Status {
 	st := Status{
-		Engine:    c.spec.Engine,
-		Command:   append([]string(nil), c.spec.Command...),
-		Shards:    c.spec.Shards,
-		Releases:  c.releases,
+		ID:        cp.id,
+		Engine:    cp.spec.Engine,
+		Command:   append([]string(nil), cp.spec.Command...),
+		Shards:    cp.spec.Shards,
+		Releases:  cp.releases,
 		Completed: []int{},
 	}
 	now := c.opts.Now()
-	for i := range c.shards {
-		s := &c.shards[i]
+	for i := range cp.shards {
+		s := &cp.shards[i]
 		if s.done {
 			st.Done++
 			st.Completed = append(st.Completed, i)
@@ -447,18 +645,139 @@ func (c *Coordinator) Status() Status {
 	sort.Ints(st.Completed)
 	if st.Done == st.Shards {
 		st.Complete = true
-		st.Validated = c.valid
-		st.Problem = c.valErr
+		st.Validated = cp.valid
+		st.Problem = cp.valErr
 	}
 	return st
 }
 
-// Releases reports how many expired leases were returned to the pool —
-// the straggler-mitigation counter the coordinator smoke asserts on.
+// CampaignInfo is one row of the fleet view: a campaign's identity and
+// progress, without the per-lease detail (Status has that).
+type CampaignInfo struct {
+	ID        string   `json:"id"`
+	Command   []string `json:"command"`
+	Shards    int      `json:"shards"`
+	Done      int      `json:"done"`
+	Leases    int      `json:"leases"`
+	Releases  int64    `json:"releases"`
+	Complete  bool     `json:"complete"`
+	Validated bool     `json:"validated"`
+	Problem   string   `json:"problem,omitempty"`
+}
+
+// Campaigns lists every campaign in submission order. Like Status it is
+// a pure read — no sweep, no journal write.
+func (c *Coordinator) Campaigns() []CampaignInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	infos := make([]CampaignInfo, 0, len(c.order))
+	for _, id := range c.order {
+		cp := c.campaigns[id]
+		ci := CampaignInfo{ID: id, Command: append([]string(nil), cp.spec.Command...),
+			Shards: cp.spec.Shards, Releases: cp.releases}
+		for i := range cp.shards {
+			switch {
+			case cp.shards[i].done:
+				ci.Done++
+			case cp.shards[i].leaseID != "":
+				ci.Leases++
+			}
+		}
+		if ci.Done == ci.Shards {
+			ci.Complete = true
+			ci.Validated = cp.valid
+			ci.Problem = cp.valErr
+		}
+		infos = append(infos, ci)
+	}
+	return infos
+}
+
+// Releases reports how many expired leases were returned to the pool
+// across every campaign — the straggler-mitigation counter the
+// coordinator smoke asserts on, and the counter the status-read
+// regression test pins at zero.
 func (c *Coordinator) Releases() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.releases
+	var n int64
+	for _, cp := range c.campaigns {
+		n += cp.releases
+	}
+	return n
+}
+
+// GCResult reports a retirement pass.
+type GCResult struct {
+	// Retired lists the campaign IDs removed, in submission order.
+	Retired []string `json:"retired"`
+	// Kept counts the campaigns still held after the pass.
+	Kept int `json:"kept"`
+}
+
+// GC retires superseded artifact generations server-side — the
+// coordinator-owned form of `flit gc`. Completed campaigns that share a
+// command are generations of the same study (they necessarily differ in
+// shard count, since equal specs are one campaign); for each command the
+// newest keep completed generations survive, in submission order, and
+// older ones are retired: removed from the journal first, then their
+// artifact directories deleted. Running campaigns are never touched and
+// never count toward keep. dryRun plans without changing anything.
+//
+// Retirement rides the coordinator's ownership boundary deliberately: an
+// operator pruning the shared namespace by hand could delete an artifact
+// the journal still references, which recovery refuses; the coordinator
+// journals the removal before any file dies, so a crash mid-GC recovers
+// to a consistent tenancy either way.
+func (c *Coordinator) GC(keep int, dryRun bool) (GCResult, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]int) // completed generations per command, counted newest-first
+	retire := make(map[string]bool)
+	for i := len(c.order) - 1; i >= 0; i-- {
+		cp := c.campaigns[c.order[i]]
+		if !cp.complete() {
+			continue
+		}
+		key := strings.Join(cp.spec.Command, "\x00")
+		seen[key]++
+		if seen[key] > keep {
+			retire[cp.id] = true
+		}
+	}
+	res := GCResult{Retired: []string{}}
+	for _, id := range c.order {
+		if retire[id] {
+			res.Retired = append(res.Retired, id)
+		}
+	}
+	res.Kept = len(c.order) - len(res.Retired)
+	if dryRun || len(res.Retired) == 0 {
+		return res, nil
+	}
+	kept := c.order[:0]
+	for _, id := range c.order {
+		if retire[id] {
+			delete(c.campaigns, id)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	c.order = kept
+	if err := c.journalLocked(); err != nil {
+		return GCResult{}, err
+	}
+	for _, id := range res.Retired {
+		if err := os.RemoveAll(c.ArtifactDir(id)); err != nil {
+			// The tenancy is already consistent (journal written); orphaned
+			// files are a disk-space problem, not a correctness one.
+			return res, fmt.Errorf("coord: retiring artifacts of %s: %w", id, err)
+		}
+	}
+	return res, nil
 }
 
 func equalCommand(a, b []string) bool {

@@ -11,20 +11,28 @@ import (
 
 // Wire protocol of the coordinator (served by Handler, spoken by Client),
 // mounted beside the object-store protocol on the same mux so one URL
-// serves both scheduling and results:
+// serves both scheduling and results. Every scheduling call is scoped to
+// a campaign by ID in the path:
 //
-//	POST /v1/coord/lease      {worker}                  → 200 leaseResponse
-//	POST /v1/coord/heartbeat  {worker,lease_id,shard}   → 200, 409 lease lost
-//	POST /v1/coord/release    {worker,lease_id,shard}   → 200 (idempotent)
-//	POST /v1/coord/complete   {worker,lease_id,shard,
-//	                           artifact: <shard JSON>}  → 200 {state: ok|done},
-//	                                                      400 bad artifact
-//	GET  /v1/coord/status                               → 200 Status
+//	GET  /v1/coord/campaigns                      → 200 []CampaignInfo
+//	POST /v1/coord/campaigns   {command,shards}   → 200 submitResponse
+//	                                                (idempotent by spec)
+//	POST /v1/coord/gc          {keep,dry_run}     → 200 GCResult
+//	POST /v1/coord/<id>/lease      {worker}                → 200 leaseResponse
+//	POST /v1/coord/<id>/heartbeat  {worker,lease_id,shard} → 200, 409 lease lost
+//	POST /v1/coord/<id>/release    {worker,lease_id,shard} → 200 (idempotent)
+//	POST /v1/coord/<id>/complete   {worker,lease_id,shard,
+//	                                artifact: <shard JSON>} → 200 {state:
+//	                                                         ok|done, all_done},
+//	                                                         400 bad artifact
+//	GET  /v1/coord/<id>/status                             → 200 Status
 //
-// Every request carries the client's engine version in X-Flit-Engine and
-// is fenced against the campaign's — the same per-request fence the
-// object protocol applies, because a worker built from a different engine
-// would compute artifacts that are not interchangeable. 409 is the one
+// An unknown campaign ID answers 404 — a worker skips it and re-lists
+// (GC may have retired the campaign under it). Every request carries the
+// client's engine version in X-Flit-Engine and is fenced against the
+// coordinator's — the same per-request fence the object protocol
+// applies, because a worker built from a different engine would compute
+// artifacts that are not interchangeable. 409 is the one
 // coordination-specific status: the lease named in the request is no
 // longer the shard's current one, and the worker must abandon the shard.
 const (
@@ -35,8 +43,8 @@ const (
 // StatusLeaseLost is the HTTP rendering of ErrLeaseLost.
 const StatusLeaseLost = http.StatusConflict
 
-// leaseRequest is the body of every mutating coordinator call; complete
-// additionally carries the shard artifact verbatim.
+// leaseRequest is the body of every campaign-scoped mutating call;
+// complete additionally carries the shard artifact verbatim.
 type leaseRequest struct {
 	Worker   string          `json:"worker"`
 	LeaseID  string          `json:"lease_id,omitempty"`
@@ -44,8 +52,11 @@ type leaseRequest struct {
 	Artifact json.RawMessage `json:"artifact,omitempty"`
 }
 
-// leaseResponse answers a lease request: State is "granted" (Grant fields
-// are set), "wait", or "done".
+// leaseResponse answers a lease or complete call: State is "granted"
+// (Grant fields are set), "wait", "ok", or "done". AllDone rides along
+// so the worker that lands a coordinator's final completion learns it
+// without another poll — a `-exit-when-done` coordinator may stop
+// accepting connections the moment the last shard lands.
 type leaseResponse struct {
 	State   string   `json:"state"`
 	Shard   int      `json:"shard,omitempty"`
@@ -53,6 +64,28 @@ type leaseResponse struct {
 	Command []string `json:"command,omitempty"`
 	LeaseID string   `json:"lease_id,omitempty"`
 	TTLMS   int64    `json:"ttl_ms,omitempty"`
+	AllDone bool     `json:"all_done,omitempty"`
+}
+
+// submitRequest is the body of a campaign submission. The engine is
+// implied by the fenced header; the spec is (command, shards).
+type submitRequest struct {
+	Command []string `json:"command"`
+	Shards  int      `json:"shards"`
+}
+
+// submitResponse names the campaign a submission landed on. Created is
+// false when the spec already named a held campaign — submission is
+// idempotent.
+type submitResponse struct {
+	ID      string `json:"id"`
+	Created bool   `json:"created"`
+}
+
+// gcRequest is the body of a server-side retirement pass.
+type gcRequest struct {
+	Keep   int  `json:"keep"`
+	DryRun bool `json:"dry_run"`
 }
 
 // maxRequestBody bounds a coordinator request body. Shard artifacts are
@@ -70,10 +103,23 @@ func Handler(c *Coordinator) http.Handler {
 }
 
 func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
-	op := strings.TrimPrefix(r.URL.Path, coordPathPrefix)
-	if got := r.Header.Get(engineHeader); got != c.spec.Engine {
-		http.Error(w, fmt.Sprintf("coord: campaign is engine %q, request is %q", c.spec.Engine, got),
+	if got := r.Header.Get(engineHeader); got != c.engine {
+		http.Error(w, fmt.Sprintf("coord: coordinator is engine %q, request is %q", c.engine, got),
 			http.StatusPreconditionFailed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, coordPathPrefix)
+	switch rest {
+	case "campaigns":
+		serveCampaigns(c, w, r)
+		return
+	case "gc":
+		serveGC(c, w, r)
+		return
+	}
+	id, op, ok := strings.Cut(rest, "/")
+	if !ok || id == "" {
+		http.NotFound(w, r)
 		return
 	}
 	if op == "status" {
@@ -81,7 +127,12 @@ func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "status wants GET", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, c.Status())
+		st, err := c.Status(id)
+		if err != nil {
+			answer(w, err)
+			return
+		}
+		writeJSON(w, st)
 		return
 	}
 	if r.Method != http.MethodPost {
@@ -100,9 +151,9 @@ func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 	}
 	switch op {
 	case "lease":
-		g, state, err := c.Lease(req.Worker)
+		g, state, err := c.Lease(id, req.Worker)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			answer(w, err)
 			return
 		}
 		resp := leaseResponse{State: "wait"}
@@ -115,27 +166,22 @@ func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, resp)
 	case "heartbeat":
-		answer(w, c.Heartbeat(req.Worker, req.LeaseID, req.Shard))
+		answer(w, c.Heartbeat(id, req.Worker, req.LeaseID, req.Shard))
 	case "release":
-		answer(w, c.Release(req.Worker, req.LeaseID, req.Shard))
+		answer(w, c.Release(id, req.Worker, req.LeaseID, req.Shard))
 	case "complete":
 		if len(req.Artifact) == 0 {
 			http.Error(w, "coord: completion carries no artifact", http.StatusBadRequest)
 			return
 		}
-		if err := c.Complete(req.Worker, req.LeaseID, req.Shard, req.Artifact); err != nil {
+		campaignDone, allDone, err := c.Complete(id, req.Worker, req.LeaseID, req.Shard, req.Artifact)
+		if err != nil {
 			answer(w, err)
 			return
 		}
-		// Tell the completing worker whether the campaign just finished: a
-		// coordinator running -exit-when-done stops accepting connections the
-		// moment the last shard lands, so the worker cannot count on one more
-		// lease poll to learn the campaign is over.
-		resp := leaseResponse{State: "ok"}
-		select {
-		case <-c.Done():
+		resp := leaseResponse{State: "ok", AllDone: allDone}
+		if campaignDone {
 			resp.State = "done"
-		default:
 		}
 		writeJSON(w, resp)
 	default:
@@ -143,15 +189,69 @@ func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// serveCampaigns lists the tenancy (GET) or submits a campaign (POST).
+func serveCampaigns(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, c.Campaigns())
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+		if err != nil || int64(len(body)) > maxRequestBody {
+			http.Error(w, "coord: unreadable or oversized request body", http.StatusBadRequest)
+			return
+		}
+		var req submitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			http.Error(w, "coord: malformed request body", http.StatusBadRequest)
+			return
+		}
+		id, created, err := c.Submit(Spec{Engine: c.engine, Command: req.Command, Shards: req.Shards})
+		if err != nil {
+			answer(w, err)
+			return
+		}
+		writeJSON(w, submitResponse{ID: id, Created: created})
+	default:
+		http.Error(w, "campaigns wants GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+// serveGC runs a server-side retirement pass.
+func serveGC(c *Coordinator, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "gc wants POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil || int64(len(body)) > maxRequestBody {
+		http.Error(w, "coord: unreadable or oversized request body", http.StatusBadRequest)
+		return
+	}
+	var req gcRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "coord: malformed request body", http.StatusBadRequest)
+		return
+	}
+	res, err := c.GC(req.Keep, req.DryRun)
+	if err != nil {
+		answer(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
 // answer maps a coordinator-method error to its HTTP status: lease loss is
-// the worker's 409 signal to abandon the shard; a validation failure is
-// the client's fault (400); anything else is the server's (500).
+// the worker's 409 signal to abandon the shard; an unknown campaign is
+// 404 (GC may have retired it — the worker re-lists); a validation
+// failure is the client's fault (400); anything else is the server's (500).
 func answer(w http.ResponseWriter, err error) {
 	switch {
 	case err == nil:
 		w.WriteHeader(http.StatusOK)
 	case errors.Is(err, ErrLeaseLost):
 		http.Error(w, err.Error(), StatusLeaseLost)
+	case errors.Is(err, ErrNoCampaign):
+		http.Error(w, err.Error(), http.StatusNotFound)
 	case IsBadRequest(err):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:

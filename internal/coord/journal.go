@@ -19,6 +19,13 @@ import (
 // lease ID), an acknowledged completion stays completed, and nothing is
 // ever double-scheduled, because the journal is written *before* the
 // acknowledgment leaves the coordinator.
+//
+// Version 2 holds the whole tenancy — every campaign, in submission
+// order, under one engine fence. Version 1 (one campaign per
+// coordinator, PR 8) migrates on recovery: the campaign is wrapped in a
+// v2 envelope under the ID its spec would be submitted under today, and
+// its artifacts move from the flat artifacts/ root into the per-campaign
+// directory that ID names.
 
 // journalShard is one shard's persisted state.
 type journalShard struct {
@@ -29,8 +36,24 @@ type journalShard struct {
 	ExpiryUnixMS int64  `json:"expiry_unix_ms,omitempty"`
 }
 
-// journalFile is the persisted coordinator snapshot.
+// journalCampaign is one campaign's persisted state.
+type journalCampaign struct {
+	ID       string         `json:"id"`
+	Spec     Spec           `json:"spec"`
+	Seq      int64          `json:"seq"`
+	Releases int64          `json:"releases"`
+	Shards   []journalShard `json:"shards"`
+}
+
+// journalFile is the persisted v2 coordinator snapshot.
 type journalFile struct {
+	Version   int               `json:"version"`
+	Engine    string            `json:"engine"`
+	Campaigns []journalCampaign `json:"campaigns"`
+}
+
+// journalFileV1 is the PR 8 single-campaign snapshot, read only to migrate.
+type journalFileV1 struct {
 	Version  int            `json:"version"`
 	Spec     Spec           `json:"spec"`
 	Seq      int64          `json:"seq"`
@@ -40,16 +63,22 @@ type journalFile struct {
 
 // journalLocked atomically persists the current state. Callers hold mu.
 func (c *Coordinator) journalLocked() error {
-	jf := journalFile{Version: JournalVersion, Spec: c.spec, Seq: c.seq,
-		Releases: c.releases, Shards: make([]journalShard, len(c.shards))}
-	for i := range c.shards {
-		s := &c.shards[i]
-		js := journalShard{Done: s.done, Artifact: s.artifact,
-			LeaseID: s.leaseID, Worker: s.worker}
-		if !s.expiry.IsZero() {
-			js.ExpiryUnixMS = s.expiry.UnixMilli()
+	jf := journalFile{Version: JournalVersion, Engine: c.engine,
+		Campaigns: make([]journalCampaign, 0, len(c.order))}
+	for _, id := range c.order {
+		cp := c.campaigns[id]
+		jc := journalCampaign{ID: cp.id, Spec: cp.spec, Seq: cp.seq,
+			Releases: cp.releases, Shards: make([]journalShard, len(cp.shards))}
+		for i := range cp.shards {
+			s := &cp.shards[i]
+			js := journalShard{Done: s.done, Artifact: s.artifact,
+				LeaseID: s.leaseID, Worker: s.worker}
+			if !s.expiry.IsZero() {
+				js.ExpiryUnixMS = s.expiry.UnixMilli()
+			}
+			jc.Shards[i] = js
 		}
-		jf.Shards[i] = js
+		jf.Campaigns = append(jf.Campaigns, jc)
 	}
 	buf, err := json.Marshal(jf)
 	if err != nil {
@@ -61,53 +90,131 @@ func (c *Coordinator) journalLocked() error {
 	return nil
 }
 
-// recover rebuilds coordinator state from a journal snapshot. spec is what
-// the caller asked for: empty adopts the journaled campaign, non-empty
-// must match it field for field.
-func (c *Coordinator) recover(raw []byte, spec Spec) error {
-	var jf journalFile
-	if err := json.Unmarshal(raw, &jf); err != nil {
+// recover rebuilds the tenancy from a journal's bytes. A v1 journal is
+// migrated in place; a newer version refuses (it may record state this
+// build cannot schedule faithfully), as does a journal fenced to a
+// different engine — its artifacts are not interchangeable with anything
+// this build would run.
+func (c *Coordinator) recover(raw []byte) error {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
 		return fmt.Errorf("coord: %s holds an unreadable journal (%v) — refusing to treat it as a coordinator directory",
 			c.dir, err)
 	}
-	if jf.Version != JournalVersion {
-		return fmt.Errorf("coord: journal format v%d, this build reads v%d", jf.Version, JournalVersion)
-	}
-	if jf.Spec.Shards < 1 || len(jf.Shards) != jf.Spec.Shards {
-		return fmt.Errorf("coord: journal declares %d shards but records %d", jf.Spec.Shards, len(jf.Shards))
-	}
-	if jf.Spec.Engine != spec.Engine {
-		return fmt.Errorf("coord: journaled campaign is engine %q, this build is %q: results are not interchangeable",
-			jf.Spec.Engine, spec.Engine)
-	}
-	// A caller that passes a command/shard count is re-asserting the
-	// campaign; it must be the journaled one. A caller that passes neither
-	// is resuming whatever is there.
-	if len(spec.Command) != 0 || spec.Shards != 0 {
-		if !equalCommand(spec.Command, jf.Spec.Command) || spec.Shards != jf.Spec.Shards {
-			return fmt.Errorf("coord: %s coordinates %q as %d shards; asked to serve %q as %d — refusing to mix campaigns",
-				c.dir, CommandString(jf.Spec.Command), jf.Spec.Shards, CommandString(spec.Command), spec.Shards)
+	var jf journalFile
+	switch probe.Version {
+	case JournalVersion:
+		if err := json.Unmarshal(raw, &jf); err != nil {
+			return fmt.Errorf("coord: parsing journal: %w", err)
 		}
-	}
-	c.spec = jf.Spec
-	c.seq = jf.Seq
-	c.releases = jf.Releases
-	c.shards = make([]shardState, len(jf.Shards))
-	for i, js := range jf.Shards {
-		s := shardState{done: js.Done, artifact: js.Artifact,
-			leaseID: js.LeaseID, worker: js.Worker}
-		if js.ExpiryUnixMS != 0 {
-			s.expiry = time.UnixMilli(js.ExpiryUnixMS)
+		if jf.Engine != c.engine {
+			return fmt.Errorf("coord: journaled tenancy is engine %q, this build is %q: results are not interchangeable",
+				jf.Engine, c.engine)
 		}
-		if s.done {
-			// A completed shard must still have its artifact; a journal that
-			// says done while the file is gone would validate-fail at the end
-			// with a confusing error, so catch it at recovery.
-			if _, err := os.Stat(filepath.Join(c.dir, artifactsDir, s.artifact)); err != nil {
-				return fmt.Errorf("coord: journal marks shard %d complete but its artifact is unreadable: %v", i, err)
+	case 1:
+		migrated, err := c.migrateV1(raw)
+		if err != nil {
+			return err
+		}
+		jf = migrated
+	default:
+		return fmt.Errorf("coord: journal format v%d, this build reads v1-v%d", probe.Version, JournalVersion)
+	}
+	for _, jc := range jf.Campaigns {
+		if jc.Spec.Shards < 1 || len(jc.Shards) != jc.Spec.Shards {
+			return fmt.Errorf("coord: journal campaign %s declares %d shards but records %d", jc.ID, jc.Spec.Shards, len(jc.Shards))
+		}
+		if jc.Spec.Engine != c.engine {
+			return fmt.Errorf("coord: journaled campaign %s is engine %q, this build is %q: results are not interchangeable",
+				jc.ID, jc.Spec.Engine, c.engine)
+		}
+		if want := CampaignID(jc.Spec); jc.ID != want {
+			return fmt.Errorf("coord: journal campaign %s does not match its spec (its coordinates name %s) — refusing a corrupt journal",
+				jc.ID, want)
+		}
+		if _, dup := c.campaigns[jc.ID]; dup {
+			return fmt.Errorf("coord: journal lists campaign %s twice", jc.ID)
+		}
+		cp := &campaign{id: jc.ID, spec: jc.Spec, seq: jc.Seq,
+			releases: jc.Releases, shards: make([]shardState, len(jc.Shards))}
+		for i, js := range jc.Shards {
+			s := shardState{done: js.Done, artifact: js.Artifact,
+				leaseID: js.LeaseID, worker: js.Worker}
+			if js.ExpiryUnixMS != 0 {
+				s.expiry = time.UnixMilli(js.ExpiryUnixMS)
 			}
+			if s.done {
+				// A completed shard must still have its artifact; a journal that
+				// says done while the file is gone would validate-fail at the end
+				// with a confusing error, so catch it at recovery.
+				if s.artifact == "" {
+					return fmt.Errorf("coord: journal campaign %s marks shard %d complete without an artifact", jc.ID, i)
+				}
+				if _, err := os.Stat(filepath.Join(c.ArtifactDir(jc.ID), s.artifact)); err != nil {
+					return fmt.Errorf("coord: journal campaign %s marks shard %d complete but its artifact is unreadable: %v", jc.ID, i, err)
+				}
+			}
+			cp.shards[i] = s
 		}
-		c.shards[i] = s
+		if err := os.MkdirAll(c.ArtifactDir(jc.ID), 0o755); err != nil {
+			return fmt.Errorf("coord: recovering campaign %s: %w", jc.ID, err)
+		}
+		c.campaigns[jc.ID] = cp
+		c.order = append(c.order, jc.ID)
 	}
 	return nil
+}
+
+// migrateV1 lifts a PR 8 single-campaign journal into the v2 tenancy.
+// The campaign keeps everything — done shards stay done, live lease IDs
+// keep working, the straggler counter carries over — and gains the ID
+// its spec would be submitted under today. Its artifacts move from the
+// flat artifacts/ root into artifacts/<id>/, and the v2 journal is
+// written before this returns, so migration runs at most once.
+func (c *Coordinator) migrateV1(raw []byte) (journalFile, error) {
+	var v1 journalFileV1
+	if err := json.Unmarshal(raw, &v1); err != nil {
+		return journalFile{}, fmt.Errorf("coord: parsing v1 journal: %w", err)
+	}
+	if v1.Spec.Engine != c.engine {
+		return journalFile{}, fmt.Errorf("coord: journaled campaign is engine %q, this build is %q: results are not interchangeable",
+			v1.Spec.Engine, c.engine)
+	}
+	if v1.Spec.Shards < 1 || len(v1.Shards) != v1.Spec.Shards {
+		return journalFile{}, fmt.Errorf("coord: journal declares %d shards but records %d", v1.Spec.Shards, len(v1.Shards))
+	}
+	id := CampaignID(v1.Spec)
+	if err := os.MkdirAll(c.ArtifactDir(id), 0o755); err != nil {
+		return journalFile{}, fmt.Errorf("coord: migrating journal: %w", err)
+	}
+	for i := range v1.Shards {
+		js := &v1.Shards[i]
+		if !js.Done || js.Artifact == "" {
+			continue
+		}
+		src := filepath.Join(c.dir, artifactsDir, js.Artifact)
+		dst := filepath.Join(c.ArtifactDir(id), js.Artifact)
+		if err := os.Rename(src, dst); err != nil {
+			// A previous migration attempt may have moved this file and then
+			// crashed before the v2 journal landed; the file already being in
+			// place is success, not failure.
+			if _, statErr := os.Stat(dst); statErr == nil && os.IsNotExist(err) {
+				continue
+			}
+			return journalFile{}, fmt.Errorf("coord: migrating shard %d artifact: %w", i, err)
+		}
+	}
+	jf := journalFile{Version: JournalVersion, Engine: c.engine,
+		Campaigns: []journalCampaign{{ID: id, Spec: v1.Spec, Seq: v1.Seq,
+			Releases: v1.Releases, Shards: v1.Shards}}}
+	buf, err := json.Marshal(jf)
+	if err != nil {
+		return journalFile{}, fmt.Errorf("coord: encoding migrated journal: %w", err)
+	}
+	if err := store.WriteFileAtomic(filepath.Join(c.dir, journalName), buf); err != nil {
+		return journalFile{}, fmt.Errorf("coord: writing migrated journal: %w", err)
+	}
+	return jf, nil
 }

@@ -11,7 +11,7 @@ import (
 	"repro/internal/exec"
 )
 
-// Runner executes one leased shard of the campaign command and returns
+// Runner executes one leased shard of a campaign command and returns
 // the exported shard artifact, verbatim JSON. The CLI supplies the
 // experiments-engine implementation; tests supply fakes and saboteurs.
 // The artifact must be a deterministic function of (command, shard) —
@@ -42,7 +42,7 @@ func (o *WorkerOptions) withDefaults() {
 	}
 }
 
-// WorkerStats summarizes one worker's campaign participation.
+// WorkerStats summarizes one worker's participation across campaigns.
 type WorkerStats struct {
 	// Completed counts shards this worker ran and successfully reported.
 	Completed int
@@ -53,15 +53,25 @@ type WorkerStats struct {
 	Lost int
 }
 
-// Work runs the worker loop against a coordinator: lease a shard, run it
-// under a heartbeat, upload the artifact, repeat until the campaign is
-// done. Cancelling ctx drains: a shard already running is finished and
-// reported (the drivers are not interruptible and the work is worth
-// keeping), a lease merely held is released, and the loop returns
-// ctx.Err(). A lost lease (expiry or supersession while running) abandons
-// only the upload and continues the loop. Transient coordinator errors
-// have already consumed the client's retry budget when they surface here,
-// so they terminate the loop rather than spin on a dead service.
+// Work runs the worker loop against a coordinator: list the campaigns,
+// lease a shard of the first incomplete one (falling through to later
+// campaigns when every shard of an earlier one is taken), run it under a
+// heartbeat, upload the artifact, repeat until every campaign is done —
+// so a fleet drains one campaign and then picks up the next, and a
+// campaign submitted while the fleet is busy gets scheduled without
+// restarting anything.
+//
+// Cancelling ctx drains: scheduling calls (the campaign listing and
+// lease polls) are cancelled immediately — mid-backoff, mid-request —
+// but a shard already running is finished and reported (the drivers are
+// not interruptible and the work is worth keeping; its heartbeats and
+// final Complete deliberately run outside ctx), a lease merely held is
+// released, and the loop returns ctx.Err(). A lost lease (expiry or
+// supersession while running) abandons only the upload and continues. A
+// campaign retired by GC mid-loop is skipped. Transient coordinator
+// errors have already consumed the client's retry budget when they
+// surface here, so they terminate the loop rather than spin on a dead
+// service.
 func Work(ctx context.Context, cl *Client, run Runner, opts WorkerOptions) (WorkerStats, error) {
 	opts.withDefaults()
 	var stats WorkerStats
@@ -69,60 +79,97 @@ func Work(ctx context.Context, cl *Client, run Runner, opts WorkerOptions) (Work
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		g, state, err := cl.Lease(opts.Name)
+		infos, err := cl.Campaigns(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return stats, ctx.Err()
+			}
 			return stats, err
 		}
-		switch state {
-		case Done:
-			fmt.Fprintf(opts.Log, "%s: campaign complete (%d shards run here, %d lost)\n",
+		incomplete := infos[:0:0]
+		for _, ci := range infos {
+			if !ci.Complete {
+				incomplete = append(incomplete, ci)
+			}
+		}
+		if len(incomplete) == 0 {
+			fmt.Fprintf(opts.Log, "%s: all campaigns complete (%d shards run here, %d lost)\n",
 				opts.Name, stats.Completed, stats.Lost)
 			return stats, nil
-		case Wait:
+		}
+		granted := false
+		for _, ci := range incomplete {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			g, state, err := cl.Lease(ctx, ci.ID, opts.Name)
+			if err != nil {
+				if errors.Is(err, ErrNoCampaign) {
+					continue // retired between the listing and the lease
+				}
+				if ctx.Err() != nil {
+					return stats, ctx.Err()
+				}
+				return stats, err
+			}
+			if state != Granted {
+				continue // Done or Wait: try the next campaign
+			}
+			granted = true
+			if err := ctx.Err(); err != nil {
+				// Drained between lease and run: hand the untouched shard back.
+				// The release runs outside ctx — it is the cleanup the drain
+				// exists to perform.
+				_ = cl.Release(context.Background(), ci.ID, opts.Name, g.LeaseID, g.Shard)
+				return stats, err
+			}
+			fmt.Fprintf(opts.Log, "%s: leased shard %d/%d of %s (%s)\n",
+				opts.Name, g.Shard, g.Count, ci.ID, g.LeaseID)
+			lost, campaignDone, allDone, err := runShard(cl, ci.ID, run, g, opts, &stats)
+			if err != nil {
+				return stats, err
+			}
+			if lost {
+				fmt.Fprintf(opts.Log, "%s: lease %s lost; shard %d abandoned to its new owner\n",
+					opts.Name, g.LeaseID, g.Shard)
+			} else {
+				fmt.Fprintf(opts.Log, "%s: shard %d of %s complete\n", opts.Name, g.Shard, ci.ID)
+			}
+			if campaignDone {
+				fmt.Fprintf(opts.Log, "%s: campaign %s complete\n", opts.Name, ci.ID)
+			}
+			if allDone {
+				// This completion finished the coordinator's last open campaign.
+				// Don't go back for one more listing: under -exit-when-done the
+				// coordinator may already be draining, and that poll would race
+				// its shutdown.
+				fmt.Fprintf(opts.Log, "%s: all campaigns complete (%d shards run here, %d lost)\n",
+					opts.Name, stats.Completed, stats.Lost)
+				return stats, nil
+			}
+			break // re-list: the tenancy may have changed while we ran
+		}
+		if !granted {
 			fmt.Fprintf(opts.Log, "%s: all shards leased; polling\n", opts.Name)
 			select {
 			case <-ctx.Done():
 			case <-time.After(opts.PollEvery):
 			}
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			// Drained between lease and run: hand the untouched shard back.
-			_ = cl.Release(opts.Name, g.LeaseID, g.Shard)
-			return stats, err
-		}
-		fmt.Fprintf(opts.Log, "%s: leased shard %d/%d (%s)\n", opts.Name, g.Shard, g.Count, g.LeaseID)
-		lost, done, err := runShard(ctx, cl, run, g, opts, &stats)
-		if err != nil {
-			return stats, err
-		}
-		if lost {
-			fmt.Fprintf(opts.Log, "%s: lease %s lost; shard %d abandoned to its new owner\n",
-				opts.Name, g.LeaseID, g.Shard)
-		} else {
-			fmt.Fprintf(opts.Log, "%s: shard %d complete\n", opts.Name, g.Shard)
-		}
-		if done {
-			// This completion finished the campaign. Don't go back for one
-			// more lease: under -exit-when-done the coordinator may already
-			// be draining, and that poll would race its shutdown.
-			fmt.Fprintf(opts.Log, "%s: campaign complete (%d shards run here, %d lost)\n",
-				opts.Name, stats.Completed, stats.Lost)
-			return stats, nil
 		}
 	}
 }
 
 // runShard executes one granted shard under a heartbeat goroutine and
 // reports the result. Returns lost=true when the lease was lost and the
-// completion was skipped; done=true when this completion was the
-// campaign's last.
-func runShard(ctx context.Context, cl *Client, run Runner, g Grant,
-	opts WorkerOptions, stats *WorkerStats) (lost, done bool, err error) {
+// completion was skipped; campaignDone/allDone as the completion reported
+// them. The heartbeats and the final Complete run under their own
+// context — a draining worker keeps its lease alive while it finishes
+// the shard, and the report of finished work is never the call a drain
+// cancels.
+func runShard(cl *Client, campaign string, run Runner, g Grant,
+	opts WorkerOptions, stats *WorkerStats) (lost, campaignDone, allDone bool, err error) {
 	// Heartbeat at a third of the TTL: two beats may be dropped before the
-	// lease is at risk. The goroutine stops at shard end or lease loss;
-	// it deliberately ignores ctx so a draining worker keeps its lease
-	// alive while it finishes the shard.
+	// lease is at risk.
 	hbCtx, stopHB := context.WithCancel(context.Background())
 	var hbLost bool
 	var wg sync.WaitGroup
@@ -141,7 +188,10 @@ func runShard(ctx context.Context, cl *Client, run Runner, g Grant,
 				return
 			case <-t.C:
 			}
-			if err := cl.Heartbeat(opts.Name, g.LeaseID, g.Shard); err != nil {
+			// The request itself runs outside hbCtx: stopHB fires when the run
+			// finishes, and cancelling an in-flight beat then would read as a
+			// lost lease when nothing was lost.
+			if err := cl.Heartbeat(context.Background(), campaign, opts.Name, g.LeaseID, g.Shard); err != nil {
 				// Lease loss is terminal for the heartbeat; so is an exhausted
 				// retry budget (the lease will expire anyway — treat the shard
 				// as lost rather than report over a dead coordinator).
@@ -159,21 +209,21 @@ func runShard(ctx context.Context, cl *Client, run Runner, g Grant,
 	if runErr != nil {
 		// A run failure is deterministic (the drivers are): releasing and
 		// retrying would loop forever, so surface it.
-		_ = cl.Release(opts.Name, g.LeaseID, g.Shard)
-		return false, false, fmt.Errorf("coord: running shard %d: %w", g.Shard, runErr)
+		_ = cl.Release(context.Background(), campaign, opts.Name, g.LeaseID, g.Shard)
+		return false, false, false, fmt.Errorf("coord: running shard %d: %w", g.Shard, runErr)
 	}
 	if hbLost {
 		stats.Lost++
-		return true, false, nil
+		return true, false, false, nil
 	}
-	done, err = cl.Complete(opts.Name, g.LeaseID, g.Shard, artifact)
+	campaignDone, allDone, err = cl.Complete(context.Background(), campaign, opts.Name, g.LeaseID, g.Shard, artifact)
 	if err != nil {
 		if errors.Is(err, ErrLeaseLost) {
 			stats.Lost++
-			return true, false, nil
+			return true, false, false, nil
 		}
-		return false, false, err
+		return false, false, false, err
 	}
 	stats.Completed++
-	return false, done, nil
+	return false, campaignDone, allDone, nil
 }

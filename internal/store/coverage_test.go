@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -226,6 +227,56 @@ func TestRemoteDeadlineExpiresDuringBackoff(t *testing.T) {
 	m := r.Metrics()
 	if m.Misses == 0 || m.Errors == 0 {
 		t.Fatalf("expired operation left no miss/error trace: %+v", m)
+	}
+}
+
+func TestRetryCtxCancelAbortsOperation(t *testing.T) {
+	// A server that never answers, under production-scale deadlines: only
+	// the caller's context can end the operation in milliseconds. This is
+	// the drain path — a SIGTERM'd worker must not ride out the 30s
+	// operation deadline against a service nobody is waiting on.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+	r, err := NewRemote(srv.URL, testEngine, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		ok      bool
+		elapsed time.Duration
+	}
+	done := make(chan result, 1)
+	start := time.Now()
+	go func() {
+		_, ok := r.GetCtx(ctx, "k")
+		done <- result{ok, time.Since(start)}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.ok {
+			t.Fatal("a cancelled Get produced a hit")
+		}
+		if res.elapsed > 3*time.Second {
+			t.Fatalf("cancellation took %v; the retry loop rode out its deadline", res.elapsed)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled GetCtx did not return; ctx is not threaded through Retry")
+	}
+	// PutCtx on an already-cancelled context gives up immediately too.
+	start = time.Now()
+	if err := r.PutCtx(ctx, "k", []byte(`{"v":1}`)); err == nil {
+		t.Fatal("a cancelled Put reported success")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-cancelled Put took %v", elapsed)
+	}
+	if m := r.Metrics(); m.Misses == 0 || m.Errors == 0 {
+		t.Fatalf("cancelled operations left no degradation trace: %+v", m)
 	}
 }
 

@@ -286,9 +286,14 @@ type Attempt struct {
 // still retryable: the caller's cue to degrade (miss for a Get, error for
 // a Put) rather than report an answer. Zero option fields take their
 // production defaults.
-func (o RemoteOptions) Retry(issue func(ctx context.Context) Attempt, onRetry func()) (res Attempt, exhausted bool) {
+//
+// ctx bounds the whole operation alongside the Deadline option: a caller
+// that is draining (a SIGTERM'd worker mid-poll) cancels ctx and the loop
+// stops at once — mid-backoff, mid-attempt — instead of riding out up to
+// the full 30s deadline against a service nobody is waiting on.
+func (o RemoteOptions) Retry(ctx context.Context, issue func(ctx context.Context) Attempt, onRetry func()) (res Attempt, exhausted bool) {
 	o.withDefaults()
-	ctx, cancel := context.WithTimeout(context.Background(), o.Deadline)
+	ctx, cancel := context.WithTimeout(ctx, o.Deadline)
 	defer cancel()
 	for attempt := 0; ; attempt++ {
 		actx, acancel := context.WithTimeout(ctx, o.AttemptTimeout)
@@ -312,8 +317,8 @@ func (o RemoteOptions) Retry(issue func(ctx context.Context) Attempt, onRetry fu
 
 // do runs the retry loop for one operation, counting re-sends in the
 // Remote's metrics.
-func (r *Remote) do(issue func(ctx context.Context) Attempt) (res Attempt, exhausted bool) {
-	return r.opts.Retry(issue, func() { r.retries.Add(1) })
+func (r *Remote) do(ctx context.Context, issue func(ctx context.Context) Attempt) (res Attempt, exhausted bool) {
+	return r.opts.Retry(ctx, issue, func() { r.retries.Add(1) })
 }
 
 // send issues one HTTP request and reads a size-capped body.
@@ -355,9 +360,18 @@ func (r *Remote) send(ctx context.Context, method, key string, body []byte) Atte
 // every failure mode — absent, fenced, corrupt, oversized, server down,
 // retries exhausted — is reported as a miss, so the caller recomputes and
 // a write-through self-heals the entry; Errors distinguishes honest
-// misses from degraded ones in the metrics.
+// misses from degraded ones in the metrics. Get satisfies the Store
+// interface and so carries no context; callers that need cancellation
+// (a draining worker) use GetCtx.
 func (r *Remote) Get(key string) ([]byte, bool) {
-	res, exhausted := r.do(func(ctx context.Context) Attempt {
+	return r.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get under a caller context: cancelling ctx aborts the retry
+// loop immediately (degrading to a miss) instead of riding out the
+// operation deadline.
+func (r *Remote) GetCtx(ctx context.Context, key string) ([]byte, bool) {
+	res, exhausted := r.do(ctx, func(ctx context.Context) Attempt {
 		return r.send(ctx, http.MethodGet, key, nil)
 	})
 	switch {
@@ -388,9 +402,16 @@ func (r *Remote) Get(key string) ([]byte, bool) {
 // declared SHA-256 matches what arrived, and no-ops when it already holds
 // a valid entry for the key. A failed Put returns an error but must not
 // fail the caller's run — the computed value is already correct in
-// memory; the cache layer counts the error and moves on.
+// memory; the cache layer counts the error and moves on. Put satisfies
+// the Store interface; PutCtx is the cancellable form.
 func (r *Remote) Put(key string, data []byte) error {
-	res, exhausted := r.do(func(ctx context.Context) Attempt {
+	return r.PutCtx(context.Background(), key, data)
+}
+
+// PutCtx is Put under a caller context: cancelling ctx aborts the retry
+// loop immediately (the upload is abandoned, counted as an error).
+func (r *Remote) PutCtx(ctx context.Context, key string, data []byte) error {
+	res, exhausted := r.do(ctx, func(ctx context.Context) Attempt {
 		return r.send(ctx, http.MethodPut, key, data)
 	})
 	switch {

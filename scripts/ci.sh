@@ -33,13 +33,18 @@
 #                    two runs sharing nothing but the URL — the second must
 #                    print byte-identical output materializing zero builds
 #                    with nonzero remote hits; SIGTERM must drain and exit 0
-#   coord smoke      the campaign coordinator end to end through real
-#                    binaries, worker crash included: `flit coord serve`
-#                    + two `flit work` processes, one SIGKILLed mid-shard
-#                    so its lease expires and is re-leased; the survivor
-#                    completes the campaign, the coordinator exits 0 on
-#                    its own, and the merged artifact set is byte-identical
-#                    to the unsharded run
+#   coord smoke      the multi-tenant campaign coordinator end to end
+#                    through real binaries, worker crash included: `flit
+#                    coord serve` owns a table4 campaign, one worker is
+#                    SIGKILLed mid-shard so its lease expires and is
+#                    re-leased, a second campaign (table3) is submitted
+#                    over HTTP while the first is still wounded, `flit
+#                    coord status` polls the fleet during the heartbeat
+#                    gap (a pure read — it must never release a lease),
+#                    and a survivor drains both campaigns; the second
+#                    campaign must finish with zero re-leases
+#                    (cross-campaign isolation) and both merged artifact
+#                    sets must be byte-identical to unsharded runs
 #   bench shard      one iteration each of BenchmarkParallelEngineSweep,
 #                    BenchmarkSpeculativeBisect, BenchmarkWarmPath,
 #                    BenchmarkPersistentStore, BenchmarkRemoteStore, and
@@ -49,7 +54,8 @@
 #                    j1/j8 + spec-execs, warm_sweep_sec +
 #                    warm_skipped_builds + cache_speedup_x, store_cold_sec
 #                    + store_warm_sec + store_hits, remote_warm_sec +
-#                    remote_hits + remote_retries, coord_campaign_sec +
+#                    remote_hits + remote_retries, coord_campaigns +
+#                    coord_campaign_sec + coord_campaign2_sec +
 #                    coord_releases) to BENCH_shard.json —
 #                    the recorded perf trajectory. The warm benches also
 #                    enforce the key-first contract: byte-identical output
@@ -169,15 +175,19 @@ kill "$SERVE_PID"
 wait "$SERVE_PID"
 grep 'shutting down' "$SHARD_TMP/serve.txt"
 
-# Campaign-coordinator smoke: the full distributed protocol through real
-# binaries, including a worker crash. `flit coord serve` owns a 2-shard
-# table4 campaign; worker A leases a shard and stalls on it forever
+# Multi-tenant campaign-coordinator smoke: the full distributed protocol
+# through real binaries, including a worker crash and a second campaign
+# sharing the coordinator. `flit coord serve` owns a 2-shard table4
+# campaign; worker A leases its shards and stalls forever
 # (FLIT_WORK_STALL) while heartbeating, then is SIGKILLed mid-shard — the
-# crash the lease protocol exists for. Its lease must expire and be
-# re-leased, worker B must finish the whole campaign alone, the
-# coordinator must exit 0 on its own (-exit-when-done) reporting at least
-# one re-lease, and the merged artifact set must be byte-identical to the
-# unsharded run.
+# crash the lease protocol exists for. While its leases are in the
+# heartbeat gap, `flit coord status` polls the fleet (a pure read: it
+# must not release anything) and `flit coord submit` adds a 2-shard
+# table3 campaign to the live tenancy. Worker B drains both campaigns;
+# the coordinator exits 0 on its own (-exit-when-done) reporting at
+# least one re-lease on the wounded campaign and exactly zero on the
+# freshly submitted one (cross-campaign isolation), and each campaign's
+# merged artifact set must be byte-identical to its unsharded run.
 COORD_DIR="$SHARD_TMP/campaign-coord"
 "$SHARD_TMP/flit" coord serve -dir "$COORD_DIR" -addr 127.0.0.1:0 \
 	-command "experiments table4" -shards 2 -lease-ttl 2s -exit-when-done \
@@ -191,6 +201,8 @@ for _ in $(seq 1 100); do
 	sleep 0.1
 done
 test -n "$COORD_URL"
+CAMPAIGN4=$(sed -n 's/^campaign \(c[0-9a-f]*\): submitted "experiments table4".*/\1/p' "$SHARD_TMP/coord.txt")
+test -n "$CAMPAIGN4"
 FLIT_WORK_STALL=60s "$SHARD_TMP/flit" work -coord "$COORD_URL" -j 2 -v \
 	-name straggler >"$SHARD_TMP/workA.txt" 2>&1 &
 WORKA_PID=$!
@@ -200,16 +212,31 @@ for _ in $(seq 1 100); do
 done
 grep 'leased shard' "$SHARD_TMP/workA.txt"
 kill -9 "$WORKA_PID"
+# Status is a pure read: polling it mid-gap must not touch the stalled
+# leases (their revival is the heartbeat path's job, reclaim is Lease's).
+"$SHARD_TMP/flit" coord status -coord "$COORD_URL" >"$SHARD_TMP/coord-fleet.txt"
+grep "campaign $CAMPAIGN4: \"experiments table4\"" "$SHARD_TMP/coord-fleet.txt"
+"$SHARD_TMP/flit" coord status -coord "$COORD_URL" -campaign "$CAMPAIGN4" \
+	>"$SHARD_TMP/coord-detail.txt"
+grep 'leased to straggler' "$SHARD_TMP/coord-detail.txt"
+CAMPAIGN3=$("$SHARD_TMP/flit" coord submit -coord "$COORD_URL" \
+	-command "experiments table3" -shards 2 | sed -n 's/^campaign \(c[0-9a-f]*\):.*/\1/p')
+test -n "$CAMPAIGN3"
 "$SHARD_TMP/flit" work -coord "$COORD_URL" -j 2 -v -stats -name finisher \
 	>"$SHARD_TMP/workB.txt" 2>"$SHARD_TMP/workB-stats.txt"
-grep 'campaign done (2 shards completed here' "$SHARD_TMP/workB.txt"
+grep 'campaigns done (4 shards completed here' "$SHARD_TMP/workB.txt"
 wait "$COORD_PID"
-grep '2/2 shards complete, [1-9][0-9]* re-leases' "$SHARD_TMP/coord.txt"
-grep 'artifact set validated' "$SHARD_TMP/coord.txt"
+grep "campaign $CAMPAIGN4: 2/2 shards complete, [1-9][0-9]* re-leases" "$SHARD_TMP/coord.txt"
+grep "campaign $CAMPAIGN3: 2/2 shards complete, 0 re-leases" "$SHARD_TMP/coord.txt"
+test "$(grep -c 'artifact set validated' "$SHARD_TMP/coord.txt")" -eq 2
 "$SHARD_TMP/flit" experiments -j 2 table4 >"$SHARD_TMP/coord-unsharded.txt"
-"$SHARD_TMP/flit" merge -j 2 "$COORD_DIR"/artifacts/shard-*.json \
+"$SHARD_TMP/flit" merge -j 2 "$COORD_DIR/artifacts/$CAMPAIGN4"/shard-*.json \
 	>"$SHARD_TMP/coord-merged.txt"
 diff "$SHARD_TMP/coord-unsharded.txt" "$SHARD_TMP/coord-merged.txt"
+"$SHARD_TMP/flit" experiments -j 2 table3 >"$SHARD_TMP/coord-unsharded3.txt"
+"$SHARD_TMP/flit" merge -j 2 "$COORD_DIR/artifacts/$CAMPAIGN3"/shard-*.json \
+	>"$SHARD_TMP/coord-merged3.txt"
+diff "$SHARD_TMP/coord-unsharded3.txt" "$SHARD_TMP/coord-merged3.txt"
 
 # Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
