@@ -75,15 +75,18 @@ remote-smoke:
 	echo "remote smoke: byte-identical over the wire, zero builds"
 
 # The multi-tenant campaign coordinator end to end through real binaries,
-# worker crash included: `flit coord serve` owns a 2-shard table4
-# campaign, worker A stalls on its leased shard and is SIGKILLed so the
-# lease expires and is re-leased; during the heartbeat gap `flit coord
-# status` polls the fleet (a pure read — it must not release anything)
-# and `flit coord submit` adds a table3 campaign to the live tenancy.
-# Worker B drains both, the coordinator exits 0 on its own with at least
-# one re-lease on the wounded campaign and zero on the fresh one, and
-# each campaign's merged artifact set is byte-identical to its unsharded
-# run. (scripts/ci.sh runs the same smoke.)
+# worker crash and poisoned shard included: `flit coord serve` owns a
+# 2-shard table4 campaign that worker A leases and stalls on (holding it
+# open); `flit coord submit` adds a healthy table3 campaign plus a table2
+# campaign whose shard 1 is poisoned (FLIT_WORK_FAIL) under an attempt
+# budget of 2. Worker B exhausts the budget — the coordinator quarantines
+# the shard and declares table2 terminally FAILED while table4 is still
+# held, so `flit coord status` renders the quarantine live. Then worker A
+# is SIGKILLed, its lease expires and is re-leased, worker B drains the
+# healthy campaigns, and the coordinator exits NON-zero naming the
+# quarantined shard. The healthy campaigns merge byte-identical to their
+# unsharded runs; merging the failed campaign's partial artifact set must
+# fail naming the missing shard. (scripts/ci.sh runs the same smoke.)
 coord-smoke:
 	@tmp=$$(mktemp -d); \
 	$(GO) build -o $$tmp/flit ./cmd/flit || { rm -rf "$$tmp"; exit 1; }; \
@@ -104,24 +107,41 @@ coord-smoke:
 		if grep -q 'leased shard' $$tmp/workA.txt; then break; fi; sleep 0.1; \
 	done; \
 	grep -q 'leased shard' $$tmp/workA.txt && \
-	kill -9 $$apid && \
 	$$tmp/flit coord status -coord "$$url" -campaign "$$c4" >$$tmp/detail.txt && \
 	grep -q 'leased to straggler' $$tmp/detail.txt && \
 	c3=$$($$tmp/flit coord submit -coord "$$url" -command "experiments table3" -shards 2 \
 		| sed -n 's/^campaign \(c[0-9a-f]*\):.*/\1/p') && \
 	test -n "$$c3" && \
-	$$tmp/flit work -coord "$$url" -j 2 -name finisher >$$tmp/workB.txt 2>&1 && \
-	grep -q 'campaigns done (4 shards completed here' $$tmp/workB.txt && \
-	wait $$cpid && \
+	c2=$$($$tmp/flit coord submit -coord "$$url" -command "experiments table2" -shards 2 \
+		-max-shard-attempts 2 | sed -n 's/^campaign \(c[0-9a-f]*\):.*/\1/p') && \
+	test -n "$$c2" && \
+	{ FLIT_WORK_FAIL=table2:1 $$tmp/flit work -coord "$$url" -j 2 -name finisher \
+		>$$tmp/workB.txt 2>&1 & } ; bpid=$$!; \
+	q=""; for _ in $$(seq 1 300); do \
+		$$tmp/flit coord status -coord "$$url" >$$tmp/fleet.txt; \
+		if grep -q 'quarantined' $$tmp/fleet.txt; then q=yes; break; fi; sleep 0.1; \
+	done; \
+	test -n "$$q" && \
+	grep -q "campaign $$c2: .*1 quarantined.*FAILED:" $$tmp/fleet.txt && \
+	$$tmp/flit coord status -coord "$$url" -campaign "$$c2" >$$tmp/faildetail.txt && \
+	grep -q 'shard 1: QUARANTINED after 2 attempts' $$tmp/faildetail.txt && \
+	kill -9 $$apid && \
+	wait $$bpid && \
+	grep -q 'campaigns terminal (5 shards completed here, 0 lost to re-lease, 2 failed)' $$tmp/workB.txt && \
+	cexit=0; wait $$cpid || cexit=$$?; test "$$cexit" -ne 0 && \
 	grep -q "campaign $$c4: 2/2 shards complete, [1-9][0-9]* re-leases" $$tmp/coord.txt && \
 	grep -q "campaign $$c3: 2/2 shards complete, 0 re-leases" $$tmp/coord.txt && \
+	grep -q "campaign $$c2: FAILED" $$tmp/coord.txt && \
 	$$tmp/flit experiments -j 2 table4 >$$tmp/unsharded.txt && \
 	$$tmp/flit merge -j 2 $$tmp/campaign/artifacts/$$c4/shard-*.json >$$tmp/merged.txt && \
 	diff $$tmp/unsharded.txt $$tmp/merged.txt && \
 	$$tmp/flit experiments -j 2 table3 >$$tmp/unsharded3.txt && \
 	$$tmp/flit merge -j 2 $$tmp/campaign/artifacts/$$c3/shard-*.json >$$tmp/merged3.txt && \
 	diff $$tmp/unsharded3.txt $$tmp/merged3.txt && \
-	echo "coord smoke: crash re-leased, two campaigns isolated and byte-identical"
+	fm=0; $$tmp/flit merge $$tmp/campaign/artifacts/$$c2/shard-*.json \
+		>/dev/null 2>$$tmp/failmerge.txt || fm=$$?; test "$$fm" -ne 0 && \
+	grep -q 'missing shard indices \[1\]' $$tmp/failmerge.txt && \
+	echo "coord smoke: crash re-leased, poisoned shard quarantined, healthy campaigns byte-identical"
 
 # One iteration of the engine benchmarks, appending their timings to
 # BENCH_shard.json (the recorded perf trajectory of the engine). The warm

@@ -666,7 +666,10 @@ func BenchmarkRemoteStore(b *testing.B) {
 //
 // With BENCH_SHARD_JSON=path set, appends coord_campaign_sec /
 // coord_campaign2_sec / coord_campaigns / coord_merge_sec /
-// coord_releases alongside the other perf-trajectory records.
+// coord_releases / coord_fail_reports / coord_quarantined alongside the
+// other perf-trajectory records; a healthy loopback fleet must record
+// zero failure reports and zero quarantined shards (the containment
+// paths cost nothing when nothing fails).
 func BenchmarkCoordCampaign(b *testing.B) {
 	command := []string{"experiments", "table4"}
 	second := []string{"experiments", "table3"}
@@ -730,7 +733,7 @@ func BenchmarkCoordCampaign(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		id2, created, err := cl.Submit(context.Background(), second, 2)
+		id2, created, err := cl.Submit(context.Background(), second, 2, 0)
 		if err != nil || !created {
 			b.Fatalf("second campaign submit: created=%v err=%v", created, err)
 		}
@@ -787,8 +790,14 @@ func BenchmarkCoordCampaign(b *testing.B) {
 		b.ReportMetric(campaign2Sec, "coord-campaign2-sec")
 		b.ReportMetric(mergeSec, "coord-merge-sec")
 		b.ReportMetric(float64(c.Releases()), "coord-releases")
+		b.ReportMetric(float64(c.FailReports()), "coord-fail-reports")
+		b.ReportMetric(float64(c.QuarantinedShards()), "coord-quarantined")
 		if c.Releases() != 0 {
 			b.Fatalf("loopback fleet re-leased %d shards, want 0", c.Releases())
+		}
+		if c.FailReports() != 0 || c.QuarantinedShards() != 0 {
+			b.Fatalf("healthy loopback fleet recorded %d failure reports, %d quarantined shards, want 0/0",
+				c.FailReports(), c.QuarantinedShards())
 		}
 
 		if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
@@ -801,6 +810,8 @@ func BenchmarkCoordCampaign(b *testing.B) {
 				"coord_campaign2_sec": campaign2Sec,
 				"coord_merge_sec":     mergeSec,
 				"coord_releases":      c.Releases(),
+				"coord_fail_reports":  c.FailReports(),
+				"coord_quarantined":   c.QuarantinedShards(),
 			}
 			if err := appendJSONLine(path, rec); err != nil {
 				b.Fatalf("BENCH_SHARD_JSON: %v", err)

@@ -59,14 +59,14 @@ func TestWorkCampaignEndToEnd(t *testing.T) {
 		if codes[w] != 0 {
 			t.Fatalf("worker %d: exit %d: %s", w, codes[w], outs[w].String())
 		}
-		if !strings.Contains(outs[w].String(), "campaigns done") {
-			t.Errorf("worker %d did not report campaigns done: %s", w, outs[w].String())
+		if !strings.Contains(outs[w].String(), "campaigns terminal") {
+			t.Errorf("worker %d did not report campaigns terminal: %s", w, outs[w].String())
 		}
 		if !strings.Contains(outs[w].String(), "remote config: attempts=4") {
 			t.Errorf("worker %d -stats missing effective transport config: %s", w, outs[w].String())
 		}
 		var n int
-		if _, err := fmt.Sscanf(afterToken(outs[w].String(), "campaigns done ("), "%d", &n); err == nil {
+		if _, err := fmt.Sscanf(afterToken(outs[w].String(), "campaigns terminal ("), "%d", &n); err == nil {
 			completed += n
 		}
 	}
@@ -348,3 +348,134 @@ func TestMergeListsMissingAndDuplicatedShards(t *testing.T) {
 	}
 }
 
+// TestWorkPoisonedShardQuarantine drives the failure-containment story
+// through the CLI entry points: a FLIT_WORK_FAIL-poisoned shard is
+// quarantined after exactly the coordinator's attempt budget, the
+// poisoned campaign reaches terminal failed (the -exit-when-done
+// coordinator exits non-zero naming the quarantined shard), the healthy
+// campaign sharing the tenancy merges byte-identical, and merging the
+// failed campaign's partial artifact set errors with the exact missing
+// shard index.
+func TestWorkPoisonedShardQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	out := &syncBuffer{}
+	codec := make(chan int, 1)
+	go func() {
+		codec <- run([]string{"coord", "serve", "-dir", dir, "-addr", "127.0.0.1:0",
+			"-command", "experiments table2", "-shards", "2",
+			"-max-shard-attempts", "2", "-exit-when-done"}, out, out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	url := ""
+	for url == "" && time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "on http://") {
+			line := s[strings.Index(s, "on http://")+len("on "):]
+			url = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		}
+	}
+	if url == "" {
+		t.Fatalf("no URL announced: %q", out.String())
+	}
+	poisonedID := strings.SplitN(afterToken(out.String(), "campaign "), ":", 2)[0]
+
+	var sout, serr bytes.Buffer
+	if code := run([]string{"coord", "submit", "-coord", url,
+		"-command", "experiments table4", "-shards", "2"}, &sout, &serr); code != 0 {
+		t.Fatalf("submit healthy campaign: exit %d: %s", code, serr.String())
+	}
+	healthyID := strings.SplitN(afterToken(sout.String(), "campaign "), ":", 2)[0]
+
+	// Poison shard 1 of the table2 campaign only; table4 runs clean even
+	// though the env var stays set for both drains.
+	t.Setenv("FLIT_WORK_FAIL", "table2:1")
+	var wout bytes.Buffer
+	if code := run([]string{"work", "-coord", url, "-j", "2", "-stats", "-v"}, &wout, &wout); code != 0 {
+		t.Fatalf("worker: exit %d: %s\ncoord output: %s", code, wout.String(), out.String())
+	}
+	if !strings.Contains(wout.String(), "failed=2") {
+		t.Errorf("worker stats should count 2 reported failures (budget 2): %s", wout.String())
+	}
+	if !strings.Contains(wout.String(), "quarantined (attempt budget exhausted)") {
+		t.Errorf("worker log missing the quarantine event: %s", wout.String())
+	}
+
+	select {
+	case code := <-codec:
+		if code == 0 {
+			t.Fatalf("coord serve exited 0 over a terminally failed campaign: %s", out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("coord serve did not exit after all campaigns settled: %s", out.String())
+	}
+	for _, want := range []string{"FAILED", "shards [1] quarantined", "FLIT_WORK_FAIL"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("coord serve output missing %q: %s", want, out.String())
+		}
+	}
+
+	// The healthy campaign is untouched: byte-identical to unsharded.
+	var want, stderr bytes.Buffer
+	if code := run([]string{"experiments", "-j", "2", "table4"}, &want, &stderr); code != 0 {
+		t.Fatalf("unsharded run: exit %d, stderr: %s", code, stderr.String())
+	}
+	arts, err := filepath.Glob(filepath.Join(dir, "artifacts", healthyID, "shard-*.json"))
+	if err != nil || len(arts) != 2 {
+		t.Fatalf("healthy artifacts = %v (err %v), want 2 files", arts, err)
+	}
+	var got bytes.Buffer
+	stderr.Reset()
+	if code := run(append([]string{"merge", "-j", "2"}, arts...), &got, &stderr); code != 0 {
+		t.Fatalf("healthy merge: exit %d, stderr: %s", code, stderr.String())
+	}
+	if got.String() != want.String() {
+		t.Error("healthy campaign merge is not byte-identical to the unsharded run")
+	}
+
+	// The failed campaign's partial artifact set refuses to merge, naming
+	// the quarantined shard exactly.
+	pArts, err := filepath.Glob(filepath.Join(dir, "artifacts", poisonedID, "shard-*.json"))
+	if err != nil || len(pArts) != 1 {
+		t.Fatalf("poisoned artifacts = %v (err %v), want only shard 0", pArts, err)
+	}
+	stderr.Reset()
+	var pOut bytes.Buffer
+	if code := run(append([]string{"merge"}, pArts...), &pOut, &stderr); code != 1 {
+		t.Fatalf("failed campaign merged: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "missing shard indices [1]") {
+		t.Errorf("failed-campaign merge does not name the missing shard: %s", stderr.String())
+	}
+}
+
+// TestCoordStatusRendersQuarantine: the status views surface attempts,
+// quarantined shards, and failure excerpts while the coordinator is live.
+func TestCoordStatusRendersQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	url := startCoordServe(t, dir, "-max-shard-attempts", "2")
+	t.Setenv("FLIT_WORK_FAIL", "table4:1")
+	var wout bytes.Buffer
+	if code := run([]string{"work", "-coord", url, "-j", "2"}, &wout, &wout); code != 0 {
+		t.Fatalf("worker: exit %d: %s", code, wout.String())
+	}
+	var fleet, stderr bytes.Buffer
+	if code := run([]string{"coord", "status", "-coord", url}, &fleet, &stderr); code != 0 {
+		t.Fatalf("status: exit %d: %s", code, stderr.String())
+	}
+	for _, want := range []string{"1 quarantined", "FAILED:", "shards [1] quarantined"} {
+		if !strings.Contains(fleet.String(), want) {
+			t.Errorf("fleet status missing %q: %s", want, fleet.String())
+		}
+	}
+	id := strings.SplitN(afterToken(fleet.String(), "campaign "), ":", 2)[0]
+	var detail bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"coord", "status", "-coord", url, "-campaign", id}, &detail, &stderr); code != 0 {
+		t.Fatalf("detail status: exit %d: %s", code, stderr.String())
+	}
+	for _, want := range []string{"attempt budget 2", "shard 1: QUARANTINED after 2 attempts",
+		"shard 1 attempt 1 failed", "shard 1 attempt 2 failed", "FLIT_WORK_FAIL"} {
+		if !strings.Contains(detail.String(), want) {
+			t.Errorf("detail status missing %q: %s", want, detail.String())
+		}
+	}
+}

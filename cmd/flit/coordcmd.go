@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -96,7 +97,9 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	commandStr := fs.String("command", "", `initial campaign command, e.g. "experiments table4" (more arrive via flit coord submit)`)
 	shards := fs.Int("shards", 0, "shard count for the initial campaign")
 	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "lease lifetime without a heartbeat")
-	exitWhenDone := fs.Bool("exit-when-done", false, "exit once every submitted campaign completes and validates")
+	maxAttempts := fs.Int("max-shard-attempts", coord.DefaultMaxShardAttempts,
+		"attempts a shard gets (lease grants + failures) before it is quarantined")
+	exitWhenDone := fs.Bool("exit-when-done", false, "exit once every submitted campaign reaches a terminal state (complete or failed)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -109,7 +112,7 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	if (*commandStr == "") != (*shards == 0) {
 		return errors.New("coord serve wants -command and -shards together (or neither)")
 	}
-	c, err := coord.New(*dir, coord.Options{LeaseTTL: *leaseTTL})
+	c, err := coord.New(*dir, coord.Options{LeaseTTL: *leaseTTL, MaxShardAttempts: *maxAttempts})
 	if err != nil {
 		return err
 	}
@@ -153,10 +156,15 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 	if err := serveGracefully(mux, ln, done, stdout); err != nil {
 		return err
 	}
-	var invalid []string
+	var invalid, failed []string
 	for _, ci := range c.Campaigns() {
 		fmt.Fprintf(stdout, "campaign %s: %d/%d shards complete, %d re-leases\n",
 			ci.ID, ci.Done, ci.Shards, ci.Releases)
+		if ci.Failed {
+			fmt.Fprintf(stdout, "campaign %s: FAILED — %s\n", ci.ID, ci.Problem)
+			failed = append(failed, fmt.Sprintf("%s: %s", ci.ID, ci.Problem))
+			continue
+		}
 		if !ci.Complete {
 			continue
 		}
@@ -167,8 +175,15 @@ func cmdCoordServe(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "campaign %s: artifact set validated; merge with: flit merge %s\n",
 			ci.ID, filepath.Join(c.ArtifactDir(ci.ID), "shard-*.json"))
 	}
+	var errs []string
+	if len(failed) > 0 {
+		errs = append(errs, fmt.Sprintf("campaign(s) failed terminally: %s", strings.Join(failed, "; ")))
+	}
 	if len(invalid) > 0 {
-		return fmt.Errorf("campaign artifacts fail merge validation: %s", strings.Join(invalid, "; "))
+		errs = append(errs, fmt.Sprintf("campaign artifacts fail merge validation: %s", strings.Join(invalid, "; ")))
+	}
+	if len(errs) > 0 {
+		return errors.New(strings.Join(errs, "; "))
 	}
 	return nil
 }
@@ -214,7 +229,9 @@ func cmdCoordStatus(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "campaign %s: %q as %d shards (engine %s)\n",
 			st.ID, coord.CommandString(st.Command), st.Shards, st.Engine)
-		fmt.Fprintf(stdout, "  done %d/%d, %d re-leases%s\n", st.Done, st.Shards, st.Releases, statusSuffix(st.Complete, st.Validated, st.Problem))
+		fmt.Fprintf(stdout, "  done %d/%d, %d re-leases, attempt budget %d%s\n",
+			st.Done, st.Shards, st.Releases, st.MaxAttempts,
+			statusSuffix(st.Complete, st.Failed, st.Validated, st.Problem))
 		for _, l := range st.Leases {
 			expiry := fmt.Sprintf("expires in %dms", l.ExpiresMS)
 			if l.ExpiresMS < 0 {
@@ -223,6 +240,19 @@ func cmdCoordStatus(args []string, stdout, stderr io.Writer) error {
 				expiry = fmt.Sprintf("expired %dms ago, awaiting sweep or revival", -l.ExpiresMS)
 			}
 			fmt.Fprintf(stdout, "  shard %d leased to %s (%s, %s)\n", l.Shard, l.Worker, l.LeaseID, expiry)
+		}
+		for _, i := range st.Quarantined {
+			attempts := 0
+			if i < len(st.Attempts) {
+				attempts = st.Attempts[i]
+			}
+			fmt.Fprintf(stdout, "  shard %d: QUARANTINED after %d attempts\n", i, attempts)
+		}
+		for _, f := range st.Failures {
+			fmt.Fprintf(stdout, "  shard %d attempt %d failed (%s): %s\n", f.Shard, f.Attempt, f.Worker, f.Error)
+			if line := excerptLine(f.Excerpt); line != "" {
+				fmt.Fprintf(stdout, "    excerpt: %s\n", line)
+			}
 		}
 		return nil
 	}
@@ -235,16 +265,22 @@ func cmdCoordStatus(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 	for _, ci := range infos {
-		fmt.Fprintf(stdout, "campaign %s: %q as %d shards — done %d/%d, %d leased, %d re-leases%s\n",
+		quarantined := ""
+		if ci.Quarantined > 0 {
+			quarantined = fmt.Sprintf(", %d quarantined", ci.Quarantined)
+		}
+		fmt.Fprintf(stdout, "campaign %s: %q as %d shards — done %d/%d, %d leased, %d re-leases%s%s\n",
 			ci.ID, coord.CommandString(ci.Command), ci.Shards, ci.Done, ci.Shards,
-			ci.Leases, ci.Releases, statusSuffix(ci.Complete, ci.Validated, ci.Problem))
+			ci.Leases, ci.Releases, quarantined, statusSuffix(ci.Complete, ci.Failed, ci.Validated, ci.Problem))
 	}
 	return nil
 }
 
 // statusSuffix renders a campaign's terminal state for the status views.
-func statusSuffix(complete, validated bool, problem string) string {
+func statusSuffix(complete, failed, validated bool, problem string) string {
 	switch {
+	case failed:
+		return fmt.Sprintf(" — FAILED: %s", problem)
 	case !complete:
 		return ""
 	case validated:
@@ -252,6 +288,22 @@ func statusSuffix(complete, validated bool, problem string) string {
 	default:
 		return fmt.Sprintf(" — complete, VALIDATION FAILED: %s", problem)
 	}
+}
+
+// excerptLine compresses a (possibly multi-line) failure excerpt into one
+// status line: its first non-empty line, clipped.
+func excerptLine(excerpt string) string {
+	for _, line := range strings.Split(excerpt, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if len(line) > 120 {
+			line = line[:120] + "…"
+		}
+		return line
+	}
+	return ""
 }
 
 // cmdCoordSubmit registers a campaign with a running coordinator.
@@ -264,12 +316,17 @@ func cmdCoordSubmit(args []string, stdout, stderr io.Writer) error {
 	coordURL := fs.String("coord", "", "campaign coordinator URL (required)")
 	commandStr := fs.String("command", "", `campaign command, e.g. "experiments table4" (required)`)
 	shards := fs.Int("shards", 0, "shard count (required)")
+	maxAttempts := fs.Int("max-shard-attempts", 0,
+		"attempts a shard gets before quarantine (0 = the coordinator's default; not part of the campaign's identity)")
 	retries, timeout := addTransportFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *commandStr == "" || *shards < 1 {
 		return errors.New(`coord submit requires -command "..." and -shards N`)
+	}
+	if *maxAttempts < 0 {
+		return errors.New("coord submit: -max-shard-attempts must be >= 0")
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("coord submit takes no positional arguments (got %q)", fs.Args())
@@ -278,7 +335,7 @@ func cmdCoordSubmit(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	id, created, err := cl.Submit(context.Background(), strings.Fields(*commandStr), *shards)
+	id, created, err := cl.Submit(context.Background(), strings.Fields(*commandStr), *shards, *maxAttempts)
 	if err != nil {
 		return err
 	}
@@ -391,9 +448,30 @@ func cmdWork(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("FLIT_WORK_STALL: %w", err)
 		}
 	}
+	// FLIT_WORK_FAIL="<command-substring>:<shard-index>" makes this worker
+	// fail that one shard of any campaign whose command contains the
+	// substring — the deterministic poison the quarantine smoke needs:
+	// every lease of that shard costs an attempt until the coordinator
+	// quarantines it, while every other shard and campaign runs normally.
+	failSubstr, failShard := "", -1
+	if v := os.Getenv("FLIT_WORK_FAIL"); v != "" {
+		sub, idxStr, ok := strings.Cut(v, ":")
+		if !ok || sub == "" {
+			return fmt.Errorf("FLIT_WORK_FAIL: want %q, got %q", "<command-substring>:<shard-index>", v)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 {
+			return fmt.Errorf("FLIT_WORK_FAIL: bad shard index %q", idxStr)
+		}
+		failSubstr, failShard = sub, idx
+	}
 	runner := func(command []string, shard exec.Shard) ([]byte, error) {
 		if stallFor > 0 {
 			time.Sleep(stallFor)
+		}
+		if failSubstr != "" && shard.Index == failShard &&
+			strings.Contains(coord.CommandString(command), failSubstr) {
+			return nil, fmt.Errorf("FLIT_WORK_FAIL: injected deterministic failure for %q shard %d", failSubstr, shard.Index)
 		}
 		return experiments.RunShard(command, shard, *j, tiers...)
 	}
@@ -411,19 +489,19 @@ func cmdWork(args []string, stdout, stderr io.Writer) error {
 		ro := cl.Options()
 		fmt.Fprintf(stderr, "remote config: attempts=%d attempt-timeout=%s timeout=%s\n",
 			ro.Attempts, ro.AttemptTimeout, ro.Deadline)
-		fmt.Fprintf(stderr, "coord: completed=%d lost=%d retries=%d\n",
-			wstats.Completed, wstats.Lost, cl.Retries())
+		fmt.Fprintf(stderr, "coord: completed=%d lost=%d failed=%d retries=%d\n",
+			wstats.Completed, wstats.Lost, wstats.Failed, cl.Retries())
 	}
 	switch {
 	case werr == nil:
-		fmt.Fprintf(stdout, "worker %s: campaigns done (%d shards completed here, %d lost to re-lease)\n",
-			*name, wstats.Completed, wstats.Lost)
+		fmt.Fprintf(stdout, "worker %s: campaigns terminal (%d shards completed here, %d lost to re-lease, %d failed)\n",
+			*name, wstats.Completed, wstats.Lost, wstats.Failed)
 		return nil
 	case errors.Is(werr, context.Canceled):
 		// The drain path: the in-flight shard (if any) was finished and
 		// reported before the loop returned.
-		fmt.Fprintf(stdout, "worker %s: drained (%d shards completed here, %d lost to re-lease)\n",
-			*name, wstats.Completed, wstats.Lost)
+		fmt.Fprintf(stdout, "worker %s: drained (%d shards completed here, %d lost to re-lease, %d failed)\n",
+			*name, wstats.Completed, wstats.Lost, wstats.Failed)
 		return nil
 	default:
 		return werr

@@ -151,8 +151,12 @@ func (cl *Client) Campaigns(ctx context.Context) ([]CampaignInfo, error) {
 
 // Submit registers a campaign (idempotently: re-submitting a spec the
 // coordinator already holds names the existing campaign, created=false).
-func (cl *Client) Submit(ctx context.Context, command []string, shards int) (id string, created bool, err error) {
-	body, err := json.Marshal(submitRequest{Command: command, Shards: shards})
+// maxAttempts is the per-shard attempt budget; 0 takes the coordinator's
+// default, and it is not part of the campaign's identity — resubmitting
+// with a different budget names the existing campaign under its original
+// one.
+func (cl *Client) Submit(ctx context.Context, command []string, shards, maxAttempts int) (id string, created bool, err error) {
+	body, err := json.Marshal(submitRequest{Command: command, Shards: shards, MaxAttempts: maxAttempts})
 	if err != nil {
 		return "", false, fmt.Errorf("coord: encoding submit request: %w", err)
 	}
@@ -179,7 +183,8 @@ func (cl *Client) GC(ctx context.Context, keep int, dryRun bool) (GCResult, erro
 
 // Lease asks for a shard of the campaign. The returned state is Granted
 // (the Grant is valid), Wait (poll again after a beat, or try another
-// campaign), or Done (campaign complete).
+// campaign), Done (campaign complete), or Failed (campaign terminally
+// failed — move on exactly as for Done).
 func (cl *Client) Lease(ctx context.Context, campaign, worker string) (Grant, LeaseState, error) {
 	var lr leaseResponse
 	if err := cl.call(ctx, campaign, "lease", leaseRequest{Worker: worker}, &lr); err != nil {
@@ -191,6 +196,8 @@ func (cl *Client) Lease(ctx context.Context, campaign, worker string) (Grant, Le
 			LeaseID: lr.LeaseID, TTL: time.Duration(lr.TTLMS) * time.Millisecond}, Granted, nil
 	case "done":
 		return Grant{}, Done, nil
+	case "failed":
+		return Grant{}, Failed, nil
 	case "wait":
 		return Grant{}, Wait, nil
 	default:
@@ -213,16 +220,36 @@ func (cl *Client) Release(ctx context.Context, campaign, worker, leaseID string,
 // live — deterministic artifacts make late and duplicate completions
 // safe. campaignDone reports whether this completion finished the
 // campaign, allDone whether it finished every campaign the coordinator
-// holds — which matters under -exit-when-done: the coordinator may be
+// holds, allTerminal whether every campaign is complete or terminally
+// failed — which matters under -exit-when-done: the coordinator may be
 // gone before the worker's next poll could say so.
-func (cl *Client) Complete(ctx context.Context, campaign, worker, leaseID string, shard int, artifact []byte) (campaignDone, allDone bool, err error) {
+func (cl *Client) Complete(ctx context.Context, campaign, worker, leaseID string, shard int, artifact []byte) (campaignDone, allDone, allTerminal bool, err error) {
 	var lr leaseResponse
 	err = cl.call(ctx, campaign, "complete", leaseRequest{Worker: worker, LeaseID: leaseID,
 		Shard: shard, Artifact: json.RawMessage(artifact)}, &lr)
 	if err != nil {
-		return false, false, err
+		return false, false, false, err
 	}
-	return lr.State == "done", lr.AllDone, nil
+	return lr.State == "done", lr.AllDone, lr.AllTerminal, nil
+}
+
+// Fail reports a structured shard failure: the lease is released, the
+// attempt is consumed, and the report (error text plus a truncated
+// stderr/panic excerpt) is recorded against the shard. quarantined
+// reports whether this failure exhausted the shard's attempt budget,
+// campaignFailed whether the campaign is now terminally failed, and
+// allTerminal whether every campaign the coordinator holds is complete
+// or failed — the fleet-wide drain signal. ErrLeaseLost means the shard
+// was already re-leased; the report is dropped and the worker just moves
+// on.
+func (cl *Client) Fail(ctx context.Context, campaign, worker, leaseID string, shard int, errText, excerpt string) (quarantined, campaignFailed, allTerminal bool, err error) {
+	var lr leaseResponse
+	err = cl.call(ctx, campaign, "fail", leaseRequest{Worker: worker, LeaseID: leaseID,
+		Shard: shard, Error: errText, Excerpt: excerpt}, &lr)
+	if err != nil {
+		return false, false, false, err
+	}
+	return lr.Quarantined, lr.CampaignFailed, lr.AllTerminal, nil
 }
 
 // Status fetches one campaign's snapshot.

@@ -51,9 +51,11 @@ import (
 )
 
 // JournalVersion is the on-disk format version of the coordinator
-// journal. Version 2 is the multi-tenant journal holding every campaign;
-// version 1 (one campaign per coordinator, PR 8) migrates on recovery.
-const JournalVersion = 2
+// journal. Version 3 adds failure containment (per-shard attempt
+// counts, failure reports, quarantine); version 2 (multi-tenant, PR 9)
+// and version 1 (one campaign per coordinator, PR 8) migrate on
+// recovery.
+const JournalVersion = 3
 
 // journalName is the journal file at the root of a coordinator directory.
 const journalName = "coord.json"
@@ -91,11 +93,16 @@ func IsBadRequest(err error) bool {
 
 // Spec describes one campaign: the canonical recorded command (the same
 // []string shard artifacts record for `flit merge`), the engine version
-// every participant must share, and the shard count.
+// every participant must share, and the shard count. MaxAttempts is the
+// campaign's shard attempt budget (0 takes the coordinator's default) —
+// it is operational tuning, not identity, so it is deliberately NOT part
+// of CampaignID: re-submitting a held spec with a different budget names
+// the existing campaign and keeps its original budget.
 type Spec struct {
-	Engine  string   `json:"engine"`
-	Command []string `json:"command"`
-	Shards  int      `json:"shards"`
+	Engine      string   `json:"engine"`
+	Command     []string `json:"command"`
+	Shards      int      `json:"shards"`
+	MaxAttempts int      `json:"max_attempts,omitempty"`
 }
 
 // CampaignID derives a campaign's identity from its spec: a short hex
@@ -131,7 +138,15 @@ type Options struct {
 	// Now is the clock (default time.Now); tests inject a fake to drive
 	// expiry deterministically.
 	Now func() time.Time
+	// MaxShardAttempts is the default per-shard attempt budget (default
+	// 5): how many times a shard may be leased out — and come back failed,
+	// crashed, or expired — before it is quarantined instead of re-leased.
+	// A campaign's Spec.MaxAttempts overrides it per campaign.
+	MaxShardAttempts int
 }
+
+// DefaultMaxShardAttempts is the attempt budget a zero Options selects.
+const DefaultMaxShardAttempts = 5
 
 func (o *Options) withDefaults() {
 	if o.LeaseTTL <= 0 {
@@ -142,6 +157,9 @@ func (o *Options) withDefaults() {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.MaxShardAttempts <= 0 {
+		o.MaxShardAttempts = DefaultMaxShardAttempts
 	}
 }
 
@@ -166,29 +184,82 @@ const (
 	Wait
 	// Done: the campaign is complete; the worker moves to the next one.
 	Done
+	// Failed: the campaign is terminally failed — every shard not done is
+	// quarantined, so there is nothing left to lease, ever. The worker
+	// moves on exactly as for Done; the campaign's failure reports say why.
+	Failed
 )
 
-// shardState is one shard's scheduling state. At most one of Done and an
-// active lease holds at a time; a shard with neither is available.
+// Failure-report bounds: a report is diagnostic, not an archive. The
+// error line and excerpt are truncated on receipt, and each shard keeps
+// only its most recent maxFailuresKept reports (the attempt counter is
+// the authoritative total).
+const (
+	maxFailError    = 512
+	maxFailExcerpt  = 2048
+	maxFailuresKept = 8
+)
+
+// FailureReport is one worker-reported shard failure: who ran it, which
+// attempt it was, the error, and a truncated excerpt of the evidence
+// (stderr, a panic message and stack). Reports persist in the journal so
+// a quarantined shard stays diagnosable across coordinator restarts.
+type FailureReport struct {
+	Worker  string `json:"worker"`
+	Attempt int    `json:"attempt"`
+	Error   string `json:"error"`
+	Excerpt string `json:"excerpt,omitempty"`
+	UnixMS  int64  `json:"unix_ms,omitempty"`
+}
+
+// truncate clamps a report's strings to their storage bounds.
+func (f FailureReport) truncate() FailureReport {
+	if len(f.Error) > maxFailError {
+		f.Error = f.Error[:maxFailError] + "…"
+	}
+	if len(f.Excerpt) > maxFailExcerpt {
+		// Keep the tail: panic stacks and stderr put the interesting part last.
+		f.Excerpt = "…" + f.Excerpt[len(f.Excerpt)-maxFailExcerpt:]
+	}
+	return f
+}
+
+// shardState is one shard's scheduling state. At most one of done, an
+// active lease, and quarantined holds at a time; a shard with none is
+// available. attempts counts lease grants that were consumed — by a
+// completion, a failure report, or an expiry; a voluntary release (the
+// drain path hands back an untouched shard) refunds its grant.
 type shardState struct {
-	done     bool
-	artifact string // file name under the campaign's artifact dir, set when done
-	leaseID  string
-	worker   string
-	expiry   time.Time
+	done        bool
+	artifact    string // file name under the campaign's artifact dir, set when done
+	leaseID     string
+	worker      string
+	expiry      time.Time
+	attempts    int
+	quarantined bool
+	failures    []FailureReport
+}
+
+// recordFailure appends a report, keeping the newest maxFailuresKept.
+func (s *shardState) recordFailure(f FailureReport) {
+	s.failures = append(s.failures, f.truncate())
+	if len(s.failures) > maxFailuresKept {
+		s.failures = s.failures[len(s.failures)-maxFailuresKept:]
+	}
 }
 
 // campaign is one tenancy: a spec, its per-shard lease table, its own
 // lease-ID sequence and straggler counter, and its validation verdict.
 type campaign struct {
-	id       string
-	spec     Spec
-	shards   []shardState
-	seq      int64 // lease-id counter, persisted so recovered IDs never collide
-	releases int64 // expired leases handed back to the pool (straggler metric)
-	finished bool  // server-side merge validation has run
-	valid    bool
-	valErr   string
+	id          string
+	spec        Spec
+	shards      []shardState
+	seq         int64 // lease-id counter, persisted so recovered IDs never collide
+	releases    int64 // expired leases handed back to the pool (straggler metric)
+	failReports int64 // failure reports recorded (includes synthesized expiry reports)
+	finished    bool  // server-side merge validation has run
+	valid       bool
+	valErr      string
 }
 
 func (cp *campaign) doneCount() int {
@@ -202,6 +273,68 @@ func (cp *campaign) doneCount() int {
 }
 
 func (cp *campaign) complete() bool { return cp.doneCount() == len(cp.shards) }
+
+// budget resolves the campaign's effective shard attempt budget.
+func (cp *campaign) budget(coordinatorDefault int) int {
+	if cp.spec.MaxAttempts > 0 {
+		return cp.spec.MaxAttempts
+	}
+	return coordinatorDefault
+}
+
+// failed reports the terminal failure state: every shard is settled
+// (done or quarantined), at least one by quarantine. A campaign with a
+// live lease is not failed yet — that lease may still complete.
+func (cp *campaign) failed() bool {
+	quarantined := false
+	for i := range cp.shards {
+		s := &cp.shards[i]
+		switch {
+		case s.done:
+		case s.quarantined:
+			quarantined = true
+		default:
+			return false // available or leased: still schedulable
+		}
+	}
+	return quarantined
+}
+
+// terminal reports whether the campaign can never change again under
+// scheduling: complete or failed.
+func (cp *campaign) terminal() bool { return cp.complete() || cp.failed() }
+
+// quarantinedShards lists the quarantined shard indices in order.
+func (cp *campaign) quarantinedShards() []int {
+	var q []int
+	for i := range cp.shards {
+		if cp.shards[i].quarantined {
+			q = append(q, i)
+		}
+	}
+	return q
+}
+
+// failProblem renders why a failed campaign failed: the quarantined
+// shard indices and each one's last recorded error — the message merge
+// validation and the status views surface.
+func (cp *campaign) failProblem() string {
+	q := cp.quarantinedShards()
+	if len(q) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(q))
+	for _, i := range q {
+		s := &cp.shards[i]
+		last := "no failure report recorded"
+		if n := len(s.failures); n > 0 {
+			last = s.failures[n-1].Error
+		}
+		parts = append(parts, fmt.Sprintf("shard %d (%d attempts): %s", i, s.attempts, last))
+	}
+	return fmt.Sprintf("shards %v quarantined after exhausting their attempt budget — %s",
+		q, strings.Join(parts, "; "))
+}
 
 // Coordinator is the multi-campaign state machine. All methods are safe
 // for concurrent use; every mutation is journaled (atomic temp+rename)
@@ -251,7 +384,7 @@ func New(dir string, opts Options) (*Coordinator, error) {
 			c.finishLocked(cp)
 		}
 	}
-	// Deliberately no checkAllDoneLocked here: a caller resuming a fully
+	// Deliberately no checkTerminalLocked here: a caller resuming a fully
 	// completed journal usually submits fresh campaigns right after New,
 	// and the done channel must not latch closed before those arrive.
 	// Done() runs the check when the channel is first handed out.
@@ -271,16 +404,19 @@ func (c *Coordinator) ArtifactDir(campaign string) string {
 }
 
 // Done returns a channel closed once at least one campaign has been
-// submitted and every submitted campaign has completed (and had its
-// server-side merge validation run). It never re-opens: a campaign
-// submitted after the channel closes does not re-arm it, so a
-// `-exit-when-done` coordinator should receive its submissions before
-// the last running campaign finishes. The completeness check also runs
-// here, so resuming a fully finished journal and then waiting on Done
-// still fires — but only after any boot-time submissions have landed.
+// submitted and every submitted campaign has reached a terminal state —
+// completed (with its server-side merge validation run) or failed (every
+// remaining shard quarantined). Failed campaigns count deliberately: a
+// `-exit-when-done` coordinator must drain on a dead tenancy, not spin
+// on shards nobody can ever finish. It never re-opens: a campaign
+// submitted after the channel closes does not re-arm it, so submissions
+// should land before the last running campaign settles. The terminal
+// check also runs here, so resuming a fully settled journal and then
+// waiting on Done still fires — but only after any boot-time submissions
+// have landed.
 func (c *Coordinator) Done() <-chan struct{} {
 	c.mu.Lock()
-	c.checkAllDoneLocked()
+	c.checkTerminalLocked()
 	c.mu.Unlock()
 	return c.done
 }
@@ -325,7 +461,7 @@ func (c *Coordinator) Submit(spec Spec) (id string, created bool, err error) {
 		c.order = c.order[:len(c.order)-1]
 		return "", false, err
 	}
-	c.checkAllDoneLocked()
+	c.checkTerminalLocked()
 	return id, true, nil
 }
 
@@ -342,7 +478,10 @@ func (c *Coordinator) byID(campaign string) (*campaign, error) {
 // Expired leases are swept first — and only here: Lease is the one call
 // that reclaims, so a crashed or stalled worker's shard is re-leased the
 // moment another worker asks for work, while read paths (Status,
-// Campaigns) never disturb an expired-but-revivable lease.
+// Campaigns) never disturb an expired-but-revivable lease. A grant
+// consumes one unit of the shard's attempt budget; quarantined shards
+// are never granted, and a campaign with nothing but quarantined shards
+// left answers Failed — the worker's signal to move on for good.
 func (c *Coordinator) Lease(campaign, worker string) (Grant, LeaseState, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -351,20 +490,28 @@ func (c *Coordinator) Lease(campaign, worker string) (Grant, LeaseState, error) 
 		return Grant{}, Wait, err
 	}
 	changed := c.sweepLocked(cp)
-	if cp.complete() {
+	if changed {
+		c.checkTerminalLocked()
+	}
+	if cp.terminal() {
+		state := Done
+		if cp.failed() {
+			state = Failed
+		}
 		if changed {
 			if err := c.journalLocked(); err != nil {
 				return Grant{}, Wait, err
 			}
 		}
-		return Grant{}, Done, nil
+		return Grant{}, state, nil
 	}
 	for i := range cp.shards {
 		s := &cp.shards[i]
-		if s.done || s.leaseID != "" {
+		if s.done || s.quarantined || s.leaseID != "" {
 			continue
 		}
 		cp.seq++
+		s.attempts++
 		s.leaseID = fmt.Sprintf("L%d", cp.seq)
 		s.worker = worker
 		s.expiry = c.opts.Now().Add(c.opts.LeaseTTL)
@@ -407,7 +554,10 @@ func (c *Coordinator) Heartbeat(campaign, worker, leaseID string, shard int) err
 
 // Release voluntarily returns a leased shard to the pool (the worker is
 // draining). Releasing a lease that is already gone is not an error —
-// release is the cleanup path and must be idempotent.
+// release is the cleanup path and must be idempotent. The grant's
+// attempt is refunded: a drained worker hands its shard back untouched,
+// and an untouched handback must never eat into the quarantine budget
+// (failures and expiries are what count attempts consumed).
 func (c *Coordinator) Release(campaign, worker, leaseID string, shard int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -420,7 +570,54 @@ func (c *Coordinator) Release(campaign, worker, leaseID string, shard int) error
 		return nil // already expired, superseded, or completed: nothing to release
 	}
 	s.leaseID, s.worker, s.expiry = "", "", time.Time{}
+	if s.attempts > 0 {
+		s.attempts--
+	}
 	return c.journalLocked()
+}
+
+// Fail records a worker-reported shard failure: the runner errored or
+// panicked, deterministically enough that the worker's own local retries
+// did not help. The lease must still be the shard's current one (a stale
+// report answers ErrLeaseLost and is ignored — the shard belongs to
+// someone else now); the report is recorded, the lease is released, and
+// the shard returns to the pool — unless this attempt exhausted its
+// budget, in which case it is quarantined: never leased again, its
+// failure history preserved. A shard whose quarantine settles the last
+// schedulable work of its campaign tips the campaign into the terminal
+// Failed state.
+//
+// quarantined reports whether this failure quarantined the shard,
+// campaignFailed whether it tipped the campaign terminal, and
+// allTerminal whether every campaign the coordinator holds is now
+// settled — the worker's signal to drain instead of polling a
+// coordinator that `-exit-when-done` may already be shutting down.
+func (c *Coordinator) Fail(campaign, worker, leaseID string, shard int, errText, excerpt string) (quarantined, campaignFailed, allTerminal bool, err error) {
+	if strings.TrimSpace(errText) == "" {
+		return false, false, false, badRequest{errors.New("coord: a failure report needs an error")}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, err := c.byID(campaign)
+	if err != nil {
+		return false, false, false, err
+	}
+	s, err := shardByLease(cp, leaseID, shard)
+	if err != nil {
+		return false, false, false, err
+	}
+	s.recordFailure(FailureReport{Worker: worker, Attempt: s.attempts,
+		Error: errText, Excerpt: excerpt, UnixMS: c.opts.Now().UnixMilli()})
+	cp.failReports++
+	s.leaseID, s.worker, s.expiry = "", "", time.Time{}
+	if s.attempts >= cp.budget(c.opts.MaxShardAttempts) {
+		s.quarantined = true
+	}
+	if err := c.journalLocked(); err != nil {
+		return false, false, false, err
+	}
+	c.checkTerminalLocked()
+	return s.quarantined, cp.failed(), c.allTerminalLocked(), nil
 }
 
 // shardByLease resolves (leaseID, shard) to the shard state iff the lease
@@ -447,46 +644,51 @@ func shardByLease(cp *campaign, leaseID string, shard int) (*shardState, error) 
 // stored as received (atomic write), so duplicate completions converge on
 // identical files.
 //
-// campaignDone reports whether this completion finished the campaign and
-// allDone whether it finished every campaign the coordinator holds —
-// what a worker needs to know before polling a coordinator that
-// `-exit-when-done` may already be shutting down.
-func (c *Coordinator) Complete(campaign, worker, leaseID string, shard int, artifact []byte) (campaignDone, allDone bool, err error) {
+// campaignDone reports whether this completion finished the campaign,
+// allDone whether every campaign the coordinator holds completed
+// successfully, and allTerminal whether every campaign is settled
+// (complete or failed) — what a worker needs to know before polling a
+// coordinator that `-exit-when-done` may already be shutting down. A
+// completion is accepted even for a quarantined shard: a real validated
+// artifact trumps failure history (the late straggler finally made it),
+// so the shard is marked done and its quarantine lifted — though a
+// campaign already latched terminal stays latched for Done().
+func (c *Coordinator) Complete(campaign, worker, leaseID string, shard int, artifact []byte) (campaignDone, allDone, allTerminal bool, err error) {
 	c.mu.Lock()
 	cp, err := c.byID(campaign)
 	if err != nil {
 		c.mu.Unlock()
-		return false, false, err
+		return false, false, false, err
 	}
 	spec := cp.spec
 	c.mu.Unlock()
 
 	if shard < 0 || shard >= spec.Shards {
-		return false, false, badRequest{fmt.Errorf("coord: completion for shard %d of a %d-shard campaign", shard, spec.Shards)}
+		return false, false, false, badRequest{fmt.Errorf("coord: completion for shard %d of a %d-shard campaign", shard, spec.Shards)}
 	}
 	a, err := flit.ReadArtifact(bytes.NewReader(artifact))
 	if err != nil {
-		return false, false, badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
+		return false, false, false, badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
 	}
 	if err := a.Check(); err != nil {
-		return false, false, badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
+		return false, false, false, badRequest{fmt.Errorf("coord: completion artifact: %w", err)}
 	}
 	if a.Engine != spec.Engine {
-		return false, false, badRequest{fmt.Errorf("coord: completion artifact from engine %q, campaign is %q", a.Engine, spec.Engine)}
+		return false, false, false, badRequest{fmt.Errorf("coord: completion artifact from engine %q, campaign is %q", a.Engine, spec.Engine)}
 	}
 	if !equalCommand(a.Command, spec.Command) {
-		return false, false, badRequest{fmt.Errorf("coord: completion artifact records command %q, campaign is %q", a.Command, spec.Command)}
+		return false, false, false, badRequest{fmt.Errorf("coord: completion artifact records command %q, campaign is %q", a.Command, spec.Command)}
 	}
 	count := a.Shard.Count
 	if count < 1 {
 		count = 1
 	}
 	if a.Shard.Index != shard || count != spec.Shards {
-		return false, false, badRequest{fmt.Errorf("coord: completion for shard %d carries artifact of shard %s", shard, a.Shard)}
+		return false, false, false, badRequest{fmt.Errorf("coord: completion for shard %d carries artifact of shard %s", shard, a.Shard)}
 	}
 	name := fmt.Sprintf("shard-%d.json", shard)
 	if err := store.WriteFileAtomic(filepath.Join(c.ArtifactDir(campaign), name), artifact); err != nil {
-		return false, false, fmt.Errorf("coord: storing shard artifact: %w", err)
+		return false, false, false, fmt.Errorf("coord: storing shard artifact: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -495,25 +697,31 @@ func (c *Coordinator) Complete(campaign, worker, leaseID string, shard int, arti
 	// the source of truth) but the completion is no longer recordable.
 	cp, err = c.byID(campaign)
 	if err != nil {
-		return false, false, err
+		return false, false, false, err
 	}
 	s := &cp.shards[shard]
 	s.done = true
 	s.artifact = name
+	s.quarantined = false
 	s.leaseID, s.worker, s.expiry = "", "", time.Time{}
 	if err := c.journalLocked(); err != nil {
-		return false, false, err
+		return false, false, false, err
 	}
 	if cp.complete() {
 		c.finishLocked(cp)
-		c.checkAllDoneLocked()
 	}
-	return cp.complete(), c.allDoneLocked(), nil
+	c.checkTerminalLocked()
+	return cp.complete(), c.allDoneLocked(), c.allTerminalLocked(), nil
 }
 
 // sweepLocked expires the campaign's stale leases, returning shards to
 // the pool. Reports whether anything changed (the caller journals).
-// Called only from Lease — the read paths must never reclaim.
+// Called only from Lease — the read paths must never reclaim. An expiry
+// consumes the grant's attempt (the worker crashed or stalled mid-run —
+// that is exactly the kind of repeated loss the budget bounds), so a
+// shard that keeps killing its workers quarantines just like one that
+// keeps reporting failure; a synthesized report records each expiry the
+// same way a worker-reported failure would be.
 func (c *Coordinator) sweepLocked(cp *campaign) bool {
 	now := c.opts.Now()
 	changed := false
@@ -522,7 +730,14 @@ func (c *Coordinator) sweepLocked(cp *campaign) bool {
 		if s.done || s.leaseID == "" || now.Before(s.expiry) {
 			continue
 		}
+		s.recordFailure(FailureReport{Worker: s.worker, Attempt: s.attempts,
+			Error:  "lease expired without completion (worker crashed, stalled, or partitioned)",
+			UnixMS: now.UnixMilli()})
+		cp.failReports++
 		s.leaseID, s.worker, s.expiry = "", "", time.Time{}
+		if s.attempts >= cp.budget(c.opts.MaxShardAttempts) {
+			s.quarantined = true
+		}
 		cp.releases++
 		changed = true
 	}
@@ -556,7 +771,8 @@ func (c *Coordinator) finishLocked(cp *campaign) {
 	}
 }
 
-// allDoneLocked reports whether every submitted campaign is complete.
+// allDoneLocked reports whether every submitted campaign completed
+// successfully.
 func (c *Coordinator) allDoneLocked() bool {
 	if len(c.order) == 0 {
 		return false
@@ -569,10 +785,26 @@ func (c *Coordinator) allDoneLocked() bool {
 	return true
 }
 
-// checkAllDoneLocked closes the done channel the first time every
-// campaign is complete.
-func (c *Coordinator) checkAllDoneLocked() {
-	if !c.doneFired && c.allDoneLocked() {
+// allTerminalLocked reports whether every submitted campaign is settled:
+// complete or terminally failed. This — not allDoneLocked — is what
+// drains workers and `-exit-when-done` coordinators: a failed campaign
+// must never keep a fleet spinning.
+func (c *Coordinator) allTerminalLocked() bool {
+	if len(c.order) == 0 {
+		return false
+	}
+	for _, id := range c.order {
+		if !c.campaigns[id].terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkTerminalLocked closes the done channel the first time every
+// campaign is terminal (complete or failed).
+func (c *Coordinator) checkTerminalLocked() {
+	if !c.doneFired && c.allTerminalLocked() {
 		c.doneFired = true
 		close(c.done)
 	}
@@ -590,19 +822,37 @@ type LeaseInfo struct {
 	ExpiresMS int64  `json:"expires_in_ms"`
 }
 
-// Status is a point-in-time snapshot of one campaign.
+// ShardFailure is one shard's failure report as the status views render
+// it: the per-shard FailureReport plus the shard index.
+type ShardFailure struct {
+	Shard int `json:"shard"`
+	FailureReport
+}
+
+// Status is a point-in-time snapshot of one campaign. State is
+// "running", "complete", or "failed"; Attempts records every shard's
+// consumed attempt count (index = shard), Quarantined the shards that
+// exhausted their budget, and Failures the retained failure reports in
+// shard order (each shard keeps its most recent few — Attempts is the
+// authoritative total).
 type Status struct {
-	ID        string      `json:"id"`
-	Engine    string      `json:"engine"`
-	Command   []string    `json:"command"`
-	Shards    int         `json:"shards"`
-	Done      int         `json:"done"`
-	Completed []int       `json:"completed"`
-	Leases    []LeaseInfo `json:"leases,omitempty"`
-	Releases  int64       `json:"releases"`
-	Complete  bool        `json:"complete"`
-	Validated bool        `json:"validated"`
-	Problem   string      `json:"problem,omitempty"`
+	ID          string         `json:"id"`
+	Engine      string         `json:"engine"`
+	Command     []string       `json:"command"`
+	Shards      int            `json:"shards"`
+	Done        int            `json:"done"`
+	Completed   []int          `json:"completed"`
+	Leases      []LeaseInfo    `json:"leases,omitempty"`
+	Releases    int64          `json:"releases"`
+	State       string         `json:"state"`
+	Complete    bool           `json:"complete"`
+	Failed      bool           `json:"failed"`
+	Validated   bool           `json:"validated"`
+	Problem     string         `json:"problem,omitempty"`
+	MaxAttempts int            `json:"max_attempts"`
+	Attempts    []int          `json:"attempts"`
+	Quarantined []int          `json:"quarantined,omitempty"`
+	Failures    []ShardFailure `json:"failures,omitempty"`
 }
 
 // Status snapshots one campaign. It is a pure read: nothing is swept,
@@ -622,16 +872,26 @@ func (c *Coordinator) Status(campaign string) (Status, error) {
 
 func (c *Coordinator) statusLocked(cp *campaign) Status {
 	st := Status{
-		ID:        cp.id,
-		Engine:    cp.spec.Engine,
-		Command:   append([]string(nil), cp.spec.Command...),
-		Shards:    cp.spec.Shards,
-		Releases:  cp.releases,
-		Completed: []int{},
+		ID:          cp.id,
+		Engine:      cp.spec.Engine,
+		Command:     append([]string(nil), cp.spec.Command...),
+		Shards:      cp.spec.Shards,
+		Releases:    cp.releases,
+		Completed:   []int{},
+		MaxAttempts: cp.budget(c.opts.MaxShardAttempts),
+		Attempts:    make([]int, len(cp.shards)),
+		State:       "running",
 	}
 	now := c.opts.Now()
 	for i := range cp.shards {
 		s := &cp.shards[i]
+		st.Attempts[i] = s.attempts
+		if s.quarantined {
+			st.Quarantined = append(st.Quarantined, i)
+		}
+		for _, f := range s.failures {
+			st.Failures = append(st.Failures, ShardFailure{Shard: i, FailureReport: f})
+		}
 		if s.done {
 			st.Done++
 			st.Completed = append(st.Completed, i)
@@ -643,26 +903,38 @@ func (c *Coordinator) statusLocked(cp *campaign) Status {
 		}
 	}
 	sort.Ints(st.Completed)
-	if st.Done == st.Shards {
+	switch {
+	case st.Done == st.Shards:
+		st.State = "complete"
 		st.Complete = true
 		st.Validated = cp.valid
 		st.Problem = cp.valErr
+	case cp.failed():
+		st.State = "failed"
+		st.Failed = true
+		st.Problem = cp.failProblem()
 	}
 	return st
 }
 
 // CampaignInfo is one row of the fleet view: a campaign's identity and
-// progress, without the per-lease detail (Status has that).
+// progress, without the per-lease detail (Status has that). Quarantined
+// counts shards that exhausted their attempt budget; Failed marks the
+// terminal all-remaining-shards-quarantined state, which a worker treats
+// exactly like Complete — nothing left to lease here, ever.
 type CampaignInfo struct {
-	ID        string   `json:"id"`
-	Command   []string `json:"command"`
-	Shards    int      `json:"shards"`
-	Done      int      `json:"done"`
-	Leases    int      `json:"leases"`
-	Releases  int64    `json:"releases"`
-	Complete  bool     `json:"complete"`
-	Validated bool     `json:"validated"`
-	Problem   string   `json:"problem,omitempty"`
+	ID          string   `json:"id"`
+	Command     []string `json:"command"`
+	Shards      int      `json:"shards"`
+	Done        int      `json:"done"`
+	Leases      int      `json:"leases"`
+	Releases    int64    `json:"releases"`
+	Quarantined int      `json:"quarantined"`
+	FailReports int64    `json:"fail_reports"`
+	Complete    bool     `json:"complete"`
+	Failed      bool     `json:"failed"`
+	Validated   bool     `json:"validated"`
+	Problem     string   `json:"problem,omitempty"`
 }
 
 // Campaigns lists every campaign in submission order. Like Status it is
@@ -674,7 +946,7 @@ func (c *Coordinator) Campaigns() []CampaignInfo {
 	for _, id := range c.order {
 		cp := c.campaigns[id]
 		ci := CampaignInfo{ID: id, Command: append([]string(nil), cp.spec.Command...),
-			Shards: cp.spec.Shards, Releases: cp.releases}
+			Shards: cp.spec.Shards, Releases: cp.releases, FailReports: cp.failReports}
 		for i := range cp.shards {
 			switch {
 			case cp.shards[i].done:
@@ -682,11 +954,18 @@ func (c *Coordinator) Campaigns() []CampaignInfo {
 			case cp.shards[i].leaseID != "":
 				ci.Leases++
 			}
+			if cp.shards[i].quarantined {
+				ci.Quarantined++
+			}
 		}
-		if ci.Done == ci.Shards {
+		switch {
+		case ci.Done == ci.Shards:
 			ci.Complete = true
 			ci.Validated = cp.valid
 			ci.Problem = cp.valErr
+		case cp.failed():
+			ci.Failed = true
+			ci.Problem = cp.failProblem()
 		}
 		infos = append(infos, ci)
 	}
@@ -703,6 +982,32 @@ func (c *Coordinator) Releases() int64 {
 	var n int64
 	for _, cp := range c.campaigns {
 		n += cp.releases
+	}
+	return n
+}
+
+// FailReports reports how many failure reports were recorded across
+// every campaign (worker-reported failures plus synthesized expiry
+// reports) — the containment counter the benchmark pins at zero on the
+// healthy path.
+func (c *Coordinator) FailReports() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, cp := range c.campaigns {
+		n += cp.failReports
+	}
+	return n
+}
+
+// QuarantinedShards reports how many shards are quarantined across every
+// campaign.
+func (c *Coordinator) QuarantinedShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cp := range c.campaigns {
+		n += len(cp.quarantinedShards())
 	}
 	return n
 }

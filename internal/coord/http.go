@@ -23,8 +23,15 @@ import (
 //	POST /v1/coord/<id>/release    {worker,lease_id,shard} → 200 (idempotent)
 //	POST /v1/coord/<id>/complete   {worker,lease_id,shard,
 //	                                artifact: <shard JSON>} → 200 {state:
-//	                                                         ok|done, all_done},
+//	                                                         ok|done, all_done,
+//	                                                         all_terminal},
 //	                                                         400 bad artifact
+//	POST /v1/coord/<id>/fail       {worker,lease_id,shard,
+//	                                error,excerpt}          → 200 {state: ok,
+//	                                                         quarantined,
+//	                                                         campaign_failed,
+//	                                                         all_terminal},
+//	                                                         409 lease lost
 //	GET  /v1/coord/<id>/status                             → 200 Status
 //
 // An unknown campaign ID answers 404 — a worker skips it and re-lists
@@ -44,34 +51,47 @@ const (
 const StatusLeaseLost = http.StatusConflict
 
 // leaseRequest is the body of every campaign-scoped mutating call;
-// complete additionally carries the shard artifact verbatim.
+// complete additionally carries the shard artifact verbatim, fail the
+// structured failure report.
 type leaseRequest struct {
 	Worker   string          `json:"worker"`
 	LeaseID  string          `json:"lease_id,omitempty"`
 	Shard    int             `json:"shard"`
 	Artifact json.RawMessage `json:"artifact,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Excerpt  string          `json:"excerpt,omitempty"`
 }
 
-// leaseResponse answers a lease or complete call: State is "granted"
-// (Grant fields are set), "wait", "ok", or "done". AllDone rides along
-// so the worker that lands a coordinator's final completion learns it
-// without another poll — a `-exit-when-done` coordinator may stop
-// accepting connections the moment the last shard lands.
+// leaseResponse answers a lease, complete, or fail call: State is
+// "granted" (Grant fields are set), "wait", "ok", "done", or "failed"
+// (the campaign is terminally failed — the worker moves on exactly as
+// for done). AllDone rides along so the worker that lands a
+// coordinator's final completion learns it without another poll;
+// AllTerminal is the drain signal that also counts failed campaigns, so
+// a fleet facing a poisoned tenancy stops instead of spinning — a
+// `-exit-when-done` coordinator may stop accepting connections the
+// moment the last shard reaches a terminal state.
 type leaseResponse struct {
-	State   string   `json:"state"`
-	Shard   int      `json:"shard,omitempty"`
-	Count   int      `json:"count,omitempty"`
-	Command []string `json:"command,omitempty"`
-	LeaseID string   `json:"lease_id,omitempty"`
-	TTLMS   int64    `json:"ttl_ms,omitempty"`
-	AllDone bool     `json:"all_done,omitempty"`
+	State          string   `json:"state"`
+	Shard          int      `json:"shard,omitempty"`
+	Count          int      `json:"count,omitempty"`
+	Command        []string `json:"command,omitempty"`
+	LeaseID        string   `json:"lease_id,omitempty"`
+	TTLMS          int64    `json:"ttl_ms,omitempty"`
+	AllDone        bool     `json:"all_done,omitempty"`
+	AllTerminal    bool     `json:"all_terminal,omitempty"`
+	Quarantined    bool     `json:"quarantined,omitempty"`
+	CampaignFailed bool     `json:"campaign_failed,omitempty"`
 }
 
 // submitRequest is the body of a campaign submission. The engine is
-// implied by the fenced header; the spec is (command, shards).
+// implied by the fenced header; the spec is (command, shards), plus an
+// optional per-campaign attempt budget (0 = coordinator default, not
+// part of the campaign's identity).
 type submitRequest struct {
-	Command []string `json:"command"`
-	Shards  int      `json:"shards"`
+	Command     []string `json:"command"`
+	Shards      int      `json:"shards"`
+	MaxAttempts int      `json:"max_attempts,omitempty"`
 }
 
 // submitResponse names the campaign a submission landed on. Created is
@@ -163,6 +183,8 @@ func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 				Command: g.Command, LeaseID: g.LeaseID, TTLMS: g.TTL.Milliseconds()}
 		case Done:
 			resp.State = "done"
+		case Failed:
+			resp.State = "failed"
 		}
 		writeJSON(w, resp)
 	case "heartbeat":
@@ -174,16 +196,24 @@ func serveCoord(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "coord: completion carries no artifact", http.StatusBadRequest)
 			return
 		}
-		campaignDone, allDone, err := c.Complete(id, req.Worker, req.LeaseID, req.Shard, req.Artifact)
+		campaignDone, allDone, allTerminal, err := c.Complete(id, req.Worker, req.LeaseID, req.Shard, req.Artifact)
 		if err != nil {
 			answer(w, err)
 			return
 		}
-		resp := leaseResponse{State: "ok", AllDone: allDone}
+		resp := leaseResponse{State: "ok", AllDone: allDone, AllTerminal: allTerminal}
 		if campaignDone {
 			resp.State = "done"
 		}
 		writeJSON(w, resp)
+	case "fail":
+		quarantined, campaignFailed, allTerminal, err := c.Fail(id, req.Worker, req.LeaseID, req.Shard, req.Error, req.Excerpt)
+		if err != nil {
+			answer(w, err)
+			return
+		}
+		writeJSON(w, leaseResponse{State: "ok", Quarantined: quarantined,
+			CampaignFailed: campaignFailed, AllTerminal: allTerminal})
 	default:
 		http.NotFound(w, r)
 	}
@@ -205,7 +235,8 @@ func serveCampaigns(c *Coordinator, w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "coord: malformed request body", http.StatusBadRequest)
 			return
 		}
-		id, created, err := c.Submit(Spec{Engine: c.engine, Command: req.Command, Shards: req.Shards})
+		id, created, err := c.Submit(Spec{Engine: c.engine, Command: req.Command,
+			Shards: req.Shards, MaxAttempts: req.MaxAttempts})
 		if err != nil {
 			answer(w, err)
 			return

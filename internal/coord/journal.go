@@ -20,29 +20,37 @@ import (
 // ever double-scheduled, because the journal is written *before* the
 // acknowledgment leaves the coordinator.
 //
-// Version 2 holds the whole tenancy — every campaign, in submission
-// order, under one engine fence. Version 1 (one campaign per
-// coordinator, PR 8) migrates on recovery: the campaign is wrapped in a
-// v2 envelope under the ID its spec would be submitted under today, and
-// its artifacts move from the flat artifacts/ root into the per-campaign
-// directory that ID names.
+// Version 3 adds failure containment on top of the v2 multi-tenant
+// snapshot: per-shard attempt counts, quarantine flags, retained failure
+// reports, and the per-campaign report counter. A v2 journal is a valid
+// v3 journal with every new field zero, so the v2→v3 migration is a pure
+// in-place re-stamp: decode, rewrite atomically under version 3, done —
+// crash-tolerant because no file ever moves. Version 1 (one campaign per
+// coordinator, PR 8) still migrates on recovery: the campaign is wrapped
+// in the multi-tenant envelope under the ID its spec would be submitted
+// under today, and its artifacts move from the flat artifacts/ root into
+// the per-campaign directory that ID names.
 
 // journalShard is one shard's persisted state.
 type journalShard struct {
-	Done         bool   `json:"done,omitempty"`
-	Artifact     string `json:"artifact,omitempty"`
-	LeaseID      string `json:"lease_id,omitempty"`
-	Worker       string `json:"worker,omitempty"`
-	ExpiryUnixMS int64  `json:"expiry_unix_ms,omitempty"`
+	Done         bool            `json:"done,omitempty"`
+	Artifact     string          `json:"artifact,omitempty"`
+	LeaseID      string          `json:"lease_id,omitempty"`
+	Worker       string          `json:"worker,omitempty"`
+	ExpiryUnixMS int64           `json:"expiry_unix_ms,omitempty"`
+	Attempts     int             `json:"attempts,omitempty"`
+	Quarantined  bool            `json:"quarantined,omitempty"`
+	Failures     []FailureReport `json:"failures,omitempty"`
 }
 
 // journalCampaign is one campaign's persisted state.
 type journalCampaign struct {
-	ID       string         `json:"id"`
-	Spec     Spec           `json:"spec"`
-	Seq      int64          `json:"seq"`
-	Releases int64          `json:"releases"`
-	Shards   []journalShard `json:"shards"`
+	ID          string         `json:"id"`
+	Spec        Spec           `json:"spec"`
+	Seq         int64          `json:"seq"`
+	Releases    int64          `json:"releases"`
+	FailReports int64          `json:"fail_reports,omitempty"`
+	Shards      []journalShard `json:"shards"`
 }
 
 // journalFile is the persisted v2 coordinator snapshot.
@@ -68,11 +76,14 @@ func (c *Coordinator) journalLocked() error {
 	for _, id := range c.order {
 		cp := c.campaigns[id]
 		jc := journalCampaign{ID: cp.id, Spec: cp.spec, Seq: cp.seq,
-			Releases: cp.releases, Shards: make([]journalShard, len(cp.shards))}
+			Releases: cp.releases, FailReports: cp.failReports,
+			Shards: make([]journalShard, len(cp.shards))}
 		for i := range cp.shards {
 			s := &cp.shards[i]
 			js := journalShard{Done: s.done, Artifact: s.artifact,
-				LeaseID: s.leaseID, Worker: s.worker}
+				LeaseID: s.leaseID, Worker: s.worker,
+				Attempts: s.attempts, Quarantined: s.quarantined,
+				Failures: s.failures}
 			if !s.expiry.IsZero() {
 				js.ExpiryUnixMS = s.expiry.UnixMilli()
 			}
@@ -104,8 +115,14 @@ func (c *Coordinator) recover(raw []byte) error {
 			c.dir, err)
 	}
 	var jf journalFile
+	restamp := false
 	switch probe.Version {
-	case JournalVersion:
+	case JournalVersion, 2:
+		// A v2 snapshot is shape-compatible with v3 (the containment
+		// fields simply decode to their zero values), so migration is a
+		// re-stamp: decode here, rewrite under the current version once
+		// the tenancy is rebuilt. A crash between decode and rewrite
+		// leaves the v2 file untouched, so migration just reruns.
 		if err := json.Unmarshal(raw, &jf); err != nil {
 			return fmt.Errorf("coord: parsing journal: %w", err)
 		}
@@ -113,6 +130,7 @@ func (c *Coordinator) recover(raw []byte) error {
 			return fmt.Errorf("coord: journaled tenancy is engine %q, this build is %q: results are not interchangeable",
 				jf.Engine, c.engine)
 		}
+		restamp = probe.Version != JournalVersion
 	case 1:
 		migrated, err := c.migrateV1(raw)
 		if err != nil {
@@ -137,11 +155,26 @@ func (c *Coordinator) recover(raw []byte) error {
 		if _, dup := c.campaigns[jc.ID]; dup {
 			return fmt.Errorf("coord: journal lists campaign %s twice", jc.ID)
 		}
+		if jc.FailReports < 0 {
+			return fmt.Errorf("coord: journal campaign %s records a negative failure count — refusing a corrupt journal", jc.ID)
+		}
 		cp := &campaign{id: jc.ID, spec: jc.Spec, seq: jc.Seq,
-			releases: jc.Releases, shards: make([]shardState, len(jc.Shards))}
+			releases: jc.Releases, failReports: jc.FailReports,
+			shards: make([]shardState, len(jc.Shards))}
 		for i, js := range jc.Shards {
 			s := shardState{done: js.Done, artifact: js.Artifact,
-				leaseID: js.LeaseID, worker: js.Worker}
+				leaseID: js.LeaseID, worker: js.Worker,
+				attempts: js.Attempts, quarantined: js.Quarantined,
+				failures: js.Failures}
+			if js.Attempts < 0 {
+				return fmt.Errorf("coord: journal campaign %s records a negative attempt count on shard %d — refusing a corrupt journal", jc.ID, i)
+			}
+			if js.Done && js.Quarantined {
+				// A shard cannot be both finished and poisoned; a journal that
+				// claims so was not written by this code, and trusting either
+				// half could resurrect a quarantined shard as leasable.
+				return fmt.Errorf("coord: journal campaign %s marks shard %d both complete and quarantined — refusing a corrupt journal", jc.ID, i)
+			}
 			if js.ExpiryUnixMS != 0 {
 				s.expiry = time.UnixMilli(js.ExpiryUnixMS)
 			}
@@ -163,6 +196,15 @@ func (c *Coordinator) recover(raw []byte) error {
 		}
 		c.campaigns[jc.ID] = cp
 		c.order = append(c.order, jc.ID)
+	}
+	if restamp {
+		// Rewrite the freshly validated tenancy under the current journal
+		// version so migration runs at most once. The v1 path rewrites
+		// inside migrateV1 (it also moves artifacts); the v2 path lands
+		// here.
+		if err := c.journalLocked(); err != nil {
+			return fmt.Errorf("coord: re-stamping migrated journal: %w", err)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -26,6 +27,15 @@ type WorkerOptions struct {
 	// PollEvery is the pause between lease attempts while every shard is
 	// taken (default 500ms).
 	PollEvery time.Duration
+	// RunAttempts is how many times a shard is run locally — under the
+	// same lease, heartbeats still flowing — before its failure is
+	// reported to the coordinator (default 2). Local retries absorb
+	// transient run failures without costing the shard a coordinator
+	// attempt.
+	RunAttempts int
+	// RetryBackoff is the pause before each local re-run, doubling per
+	// retry (default 250ms).
+	RetryBackoff time.Duration
 	// Log receives one line per lifecycle event (nil discards).
 	Log io.Writer
 }
@@ -36,6 +46,12 @@ func (o *WorkerOptions) withDefaults() {
 	}
 	if o.PollEvery <= 0 {
 		o.PollEvery = 500 * time.Millisecond
+	}
+	if o.RunAttempts <= 0 {
+		o.RunAttempts = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 250 * time.Millisecond
 	}
 	if o.Log == nil {
 		o.Log = io.Discard
@@ -51,6 +67,10 @@ type WorkerStats struct {
 	// worker owns the shard now. The work is not wasted: run results were
 	// written through to the shared store as they were computed.
 	Lost int
+	// Failed counts shards whose run failed (error or panic) after the
+	// local retry budget and were reported to the coordinator as failures.
+	// The worker itself survives each one and moves to the next lease.
+	Failed int
 }
 
 // Work runs the worker loop against a coordinator: list the campaigns,
@@ -68,7 +88,11 @@ type WorkerStats struct {
 // final Complete deliberately run outside ctx), a lease merely held is
 // released, and the loop returns ctx.Err(). A lost lease (expiry or
 // supersession while running) abandons only the upload and continues. A
-// campaign retired by GC mid-loop is skipped. Transient coordinator
+// campaign retired by GC mid-loop is skipped, as is one that has
+// terminally failed — a poisoned campaign costs the fleet nothing once
+// quarantine closes it. A shard whose run fails or panics is reported
+// via Fail and the loop continues to the next lease: a poisoned shard
+// costs one coordinator attempt, never a worker. Transient coordinator
 // errors have already consumed the client's retry budget when they
 // surface here, so they terminate the loop rather than spin on a dead
 // service.
@@ -88,13 +112,13 @@ func Work(ctx context.Context, cl *Client, run Runner, opts WorkerOptions) (Work
 		}
 		incomplete := infos[:0:0]
 		for _, ci := range infos {
-			if !ci.Complete {
+			if !ci.Complete && !ci.Failed {
 				incomplete = append(incomplete, ci)
 			}
 		}
 		if len(incomplete) == 0 {
-			fmt.Fprintf(opts.Log, "%s: all campaigns complete (%d shards run here, %d lost)\n",
-				opts.Name, stats.Completed, stats.Lost)
+			fmt.Fprintf(opts.Log, "%s: all campaigns terminal (%d shards run here, %d lost, %d failed)\n",
+				opts.Name, stats.Completed, stats.Lost, stats.Failed)
 			return stats, nil
 		}
 		granted := false
@@ -125,26 +149,38 @@ func Work(ctx context.Context, cl *Client, run Runner, opts WorkerOptions) (Work
 			}
 			fmt.Fprintf(opts.Log, "%s: leased shard %d/%d of %s (%s)\n",
 				opts.Name, g.Shard, g.Count, ci.ID, g.LeaseID)
-			lost, campaignDone, allDone, err := runShard(cl, ci.ID, run, g, opts, &stats)
+			out, err := runShard(cl, ci.ID, run, g, opts, &stats)
 			if err != nil {
 				return stats, err
 			}
-			if lost {
+			switch {
+			case out.lost:
 				fmt.Fprintf(opts.Log, "%s: lease %s lost; shard %d abandoned to its new owner\n",
 					opts.Name, g.LeaseID, g.Shard)
-			} else {
+			case out.failed:
+				fmt.Fprintf(opts.Log, "%s: shard %d of %s failed; reported and moving on\n",
+					opts.Name, g.Shard, ci.ID)
+				if out.quarantined {
+					fmt.Fprintf(opts.Log, "%s: shard %d of %s quarantined (attempt budget exhausted)\n",
+						opts.Name, g.Shard, ci.ID)
+				}
+			default:
 				fmt.Fprintf(opts.Log, "%s: shard %d of %s complete\n", opts.Name, g.Shard, ci.ID)
 			}
-			if campaignDone {
+			if out.campaignDone {
 				fmt.Fprintf(opts.Log, "%s: campaign %s complete\n", opts.Name, ci.ID)
 			}
-			if allDone {
-				// This completion finished the coordinator's last open campaign.
+			if out.campaignFailed {
+				fmt.Fprintf(opts.Log, "%s: campaign %s failed terminally; skipping it from now on\n",
+					opts.Name, ci.ID)
+			}
+			if out.allTerminal {
+				// This report settled the coordinator's last open campaign.
 				// Don't go back for one more listing: under -exit-when-done the
 				// coordinator may already be draining, and that poll would race
 				// its shutdown.
-				fmt.Fprintf(opts.Log, "%s: all campaigns complete (%d shards run here, %d lost)\n",
-					opts.Name, stats.Completed, stats.Lost)
+				fmt.Fprintf(opts.Log, "%s: all campaigns terminal (%d shards run here, %d lost, %d failed)\n",
+					opts.Name, stats.Completed, stats.Lost, stats.Failed)
 				return stats, nil
 			}
 			break // re-list: the tenancy may have changed while we ran
@@ -159,15 +195,47 @@ func Work(ctx context.Context, cl *Client, run Runner, opts WorkerOptions) (Work
 	}
 }
 
+// shardOutcome is what one granted shard came to: exactly one of lost,
+// failed, or a completion (possibly the one that finished the campaign
+// or the whole tenancy).
+type shardOutcome struct {
+	lost           bool
+	failed         bool
+	quarantined    bool
+	campaignDone   bool
+	campaignFailed bool
+	allDone        bool
+	allTerminal    bool
+}
+
+// runAttempt executes the Runner once, converting a panic into an error
+// plus a stack excerpt — a Runner that panics on one poisoned shard
+// must cost an attempt, not the worker. Errors carry no excerpt; the
+// error text is the report.
+func runAttempt(run Runner, command []string, shard exec.Shard) (artifact []byte, excerpt string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			artifact = nil
+			excerpt = string(debug.Stack())
+			err = fmt.Errorf("runner panicked: %v", r)
+		}
+	}()
+	artifact, err = run(command, shard)
+	return artifact, "", err
+}
+
 // runShard executes one granted shard under a heartbeat goroutine and
-// reports the result. Returns lost=true when the lease was lost and the
-// completion was skipped; campaignDone/allDone as the completion reported
-// them. The heartbeats and the final Complete run under their own
+// reports the result. A failing or panicking run is retried locally
+// (opts.RunAttempts, backoff doubling from opts.RetryBackoff, lease kept
+// alive by the heartbeats throughout) and then reported to the
+// coordinator via Fail — runShard returns an error only when the
+// coordinator itself is unreachable, never because the shard's command
+// failed. The heartbeats and the final Complete/Fail run under their own
 // context — a draining worker keeps its lease alive while it finishes
 // the shard, and the report of finished work is never the call a drain
 // cancels.
 func runShard(cl *Client, campaign string, run Runner, g Grant,
-	opts WorkerOptions, stats *WorkerStats) (lost, campaignDone, allDone bool, err error) {
+	opts WorkerOptions, stats *WorkerStats) (shardOutcome, error) {
 	// Heartbeat at a third of the TTL: two beats may be dropped before the
 	// lease is at risk.
 	hbCtx, stopHB := context.WithCancel(context.Background())
@@ -203,27 +271,53 @@ func runShard(cl *Client, campaign string, run Runner, g Grant,
 			}
 		}
 	}()
-	artifact, runErr := run(g.Command, exec.Shard{Index: g.Shard, Count: g.Count})
+	var artifact []byte
+	var excerpt string
+	var runErr error
+	for attempt := 1; attempt <= opts.RunAttempts; attempt++ {
+		if attempt > 1 {
+			fmt.Fprintf(opts.Log, "%s: shard %d attempt %d/%d after failure: %v\n",
+				opts.Name, g.Shard, attempt, opts.RunAttempts, runErr)
+			time.Sleep(opts.RetryBackoff << (attempt - 2))
+		}
+		artifact, excerpt, runErr = runAttempt(run, g.Command, exec.Shard{Index: g.Shard, Count: g.Count})
+		if runErr == nil {
+			break
+		}
+	}
 	stopHB()
 	wg.Wait()
 	if runErr != nil {
-		// A run failure is deterministic (the drivers are): releasing and
-		// retrying would loop forever, so surface it.
-		_ = cl.Release(context.Background(), campaign, opts.Name, g.LeaseID, g.Shard)
-		return false, false, false, fmt.Errorf("coord: running shard %d: %w", g.Shard, runErr)
+		// The shard failed every local attempt: report a structured failure
+		// so the coordinator can count it against the shard's budget. The
+		// worker survives — a deterministically poisoned shard is the
+		// coordinator's quarantine problem, not a worker-killing one.
+		stats.Failed++
+		quarantined, campaignFailed, allTerminal, err := cl.Fail(context.Background(),
+			campaign, opts.Name, g.LeaseID, g.Shard, runErr.Error(), excerpt)
+		if err != nil {
+			if errors.Is(err, ErrLeaseLost) {
+				// Re-leased while we were failing: the report is moot, the new
+				// owner will produce its own.
+				return shardOutcome{failed: true}, nil
+			}
+			return shardOutcome{}, err
+		}
+		return shardOutcome{failed: true, quarantined: quarantined,
+			campaignFailed: campaignFailed, allTerminal: allTerminal}, nil
 	}
 	if hbLost {
 		stats.Lost++
-		return true, false, false, nil
+		return shardOutcome{lost: true}, nil
 	}
-	campaignDone, allDone, err = cl.Complete(context.Background(), campaign, opts.Name, g.LeaseID, g.Shard, artifact)
+	campaignDone, allDone, allTerminal, err := cl.Complete(context.Background(), campaign, opts.Name, g.LeaseID, g.Shard, artifact)
 	if err != nil {
 		if errors.Is(err, ErrLeaseLost) {
 			stats.Lost++
-			return true, false, false, nil
+			return shardOutcome{lost: true}, nil
 		}
-		return false, false, false, err
+		return shardOutcome{}, err
 	}
 	stats.Completed++
-	return false, campaignDone, allDone, nil
+	return shardOutcome{campaignDone: campaignDone, allDone: allDone, allTerminal: allTerminal}, nil
 }

@@ -34,17 +34,23 @@
 #                    print byte-identical output materializing zero builds
 #                    with nonzero remote hits; SIGTERM must drain and exit 0
 #   coord smoke      the multi-tenant campaign coordinator end to end
-#                    through real binaries, worker crash included: `flit
-#                    coord serve` owns a table4 campaign, one worker is
-#                    SIGKILLed mid-shard so its lease expires and is
-#                    re-leased, a second campaign (table3) is submitted
-#                    over HTTP while the first is still wounded, `flit
-#                    coord status` polls the fleet during the heartbeat
-#                    gap (a pure read — it must never release a lease),
-#                    and a survivor drains both campaigns; the second
-#                    campaign must finish with zero re-leases
-#                    (cross-campaign isolation) and both merged artifact
-#                    sets must be byte-identical to unsharded runs
+#                    through real binaries, worker crash and poisoned
+#                    shard included: `flit coord serve` owns a table4
+#                    campaign held open by a stalling worker while two
+#                    more campaigns are submitted over HTTP — a healthy
+#                    table3 and a table2 whose shard 1 is poisoned
+#                    (FLIT_WORK_FAIL) under an attempt budget of 2. The
+#                    poisoned shard must be quarantined and its campaign
+#                    declared terminally FAILED while the tenancy is
+#                    still live (status views render the quarantine,
+#                    budget, and failure excerpt), then the stalling
+#                    worker is SIGKILLed so its lease expires and is
+#                    re-leased. The coordinator exits NON-zero naming
+#                    the quarantined shard; the healthy campaigns merge
+#                    byte-identical to unsharded runs with zero
+#                    re-leases on table3 (cross-campaign isolation), and
+#                    merging the failed campaign's partial artifact set
+#                    must fail naming exactly the missing shard
 #   bench shard      one iteration each of BenchmarkParallelEngineSweep,
 #                    BenchmarkSpeculativeBisect, BenchmarkWarmPath,
 #                    BenchmarkPersistentStore, BenchmarkRemoteStore, and
@@ -56,7 +62,8 @@
 #                    + store_warm_sec + store_hits, remote_warm_sec +
 #                    remote_hits + remote_retries, coord_campaigns +
 #                    coord_campaign_sec + coord_campaign2_sec +
-#                    coord_releases) to BENCH_shard.json —
+#                    coord_releases + coord_fail_reports +
+#                    coord_quarantined) to BENCH_shard.json —
 #                    the recorded perf trajectory. The warm benches also
 #                    enforce the key-first contract: byte-identical output
 #                    with zero executables built and zero run-cache misses
@@ -176,18 +183,25 @@ wait "$SERVE_PID"
 grep 'shutting down' "$SHARD_TMP/serve.txt"
 
 # Multi-tenant campaign-coordinator smoke: the full distributed protocol
-# through real binaries, including a worker crash and a second campaign
-# sharing the coordinator. `flit coord serve` owns a 2-shard table4
-# campaign; worker A leases its shards and stalls forever
-# (FLIT_WORK_STALL) while heartbeating, then is SIGKILLed mid-shard — the
-# crash the lease protocol exists for. While its leases are in the
-# heartbeat gap, `flit coord status` polls the fleet (a pure read: it
-# must not release anything) and `flit coord submit` adds a 2-shard
-# table3 campaign to the live tenancy. Worker B drains both campaigns;
-# the coordinator exits 0 on its own (-exit-when-done) reporting at
-# least one re-lease on the wounded campaign and exactly zero on the
-# freshly submitted one (cross-campaign isolation), and each campaign's
-# merged artifact set must be byte-identical to its unsharded run.
+# through real binaries, including a worker crash, a second campaign
+# sharing the coordinator, and a third campaign with a deterministically
+# poisoned shard. `flit coord serve` owns a 2-shard table4 campaign;
+# worker A leases its shards and stalls forever (FLIT_WORK_STALL) while
+# heartbeating, holding table4 open. While it stalls, `flit coord
+# status` polls the fleet (a pure read: it must not release anything)
+# and `flit coord submit` adds a healthy 2-shard table3 campaign plus a
+# 2-shard table2 campaign whose shard 1 is poisoned (FLIT_WORK_FAIL)
+# under an attempt budget of 2. Worker B fails the poisoned shard on
+# both budgeted attempts — the coordinator quarantines it and declares
+# table2 terminally FAILED while table4 is still held, so the status
+# views render the quarantine live. Only then is worker A SIGKILLed —
+# the crash the lease protocol exists for — and worker B re-leases and
+# drains the healthy campaigns. The coordinator exits NON-zero
+# (-exit-when-done) naming the quarantined shard, table3 finishes with
+# zero re-leases (cross-campaign isolation), both healthy campaigns'
+# merged artifact sets are byte-identical to their unsharded runs, and
+# merging the failed campaign's partial artifact set must fail naming
+# exactly the missing shard.
 COORD_DIR="$SHARD_TMP/campaign-coord"
 "$SHARD_TMP/flit" coord serve -dir "$COORD_DIR" -addr 127.0.0.1:0 \
 	-command "experiments table4" -shards 2 -lease-ttl 2s -exit-when-done \
@@ -211,8 +225,7 @@ for _ in $(seq 1 100); do
 	sleep 0.1
 done
 grep 'leased shard' "$SHARD_TMP/workA.txt"
-kill -9 "$WORKA_PID"
-# Status is a pure read: polling it mid-gap must not touch the stalled
+# Status is a pure read: polling it mid-stall must not touch the live
 # leases (their revival is the heartbeat path's job, reclaim is Lease's).
 "$SHARD_TMP/flit" coord status -coord "$COORD_URL" >"$SHARD_TMP/coord-fleet.txt"
 grep "campaign $CAMPAIGN4: \"experiments table4\"" "$SHARD_TMP/coord-fleet.txt"
@@ -222,12 +235,48 @@ grep 'leased to straggler' "$SHARD_TMP/coord-detail.txt"
 CAMPAIGN3=$("$SHARD_TMP/flit" coord submit -coord "$COORD_URL" \
 	-command "experiments table3" -shards 2 | sed -n 's/^campaign \(c[0-9a-f]*\):.*/\1/p')
 test -n "$CAMPAIGN3"
-"$SHARD_TMP/flit" work -coord "$COORD_URL" -j 2 -v -stats -name finisher \
-	>"$SHARD_TMP/workB.txt" 2>"$SHARD_TMP/workB-stats.txt"
-grep 'campaigns done (4 shards completed here' "$SHARD_TMP/workB.txt"
-wait "$COORD_PID"
+CAMPAIGN2=$("$SHARD_TMP/flit" coord submit -coord "$COORD_URL" \
+	-command "experiments table2" -shards 2 -max-shard-attempts 2 \
+	| sed -n 's/^campaign \(c[0-9a-f]*\):.*/\1/p')
+test -n "$CAMPAIGN2"
+FLIT_WORK_FAIL=table2:1 "$SHARD_TMP/flit" work -coord "$COORD_URL" -j 2 -v \
+	-stats -name finisher >"$SHARD_TMP/workB.txt" 2>"$SHARD_TMP/workB-stats.txt" &
+WORKB_PID=$!
+# Worker A still holds table4, so the tenancy cannot reach all-terminal:
+# the quarantine of table2 shard 1 stays observable through the status
+# views for as long as the poll needs.
+QUARANTINED=""
+for _ in $(seq 1 300); do
+	"$SHARD_TMP/flit" coord status -coord "$COORD_URL" >"$SHARD_TMP/coord-fail-fleet.txt"
+	if grep -q 'quarantined' "$SHARD_TMP/coord-fail-fleet.txt"; then
+		QUARANTINED=yes
+		break
+	fi
+	sleep 0.1
+done
+test -n "$QUARANTINED"
+grep "campaign $CAMPAIGN2: .*1 quarantined.*FAILED:" "$SHARD_TMP/coord-fail-fleet.txt"
+grep 'shards \[1\] quarantined after exhausting their attempt budget' "$SHARD_TMP/coord-fail-fleet.txt"
+"$SHARD_TMP/flit" coord status -coord "$COORD_URL" -campaign "$CAMPAIGN2" \
+	>"$SHARD_TMP/coord-fail-detail.txt"
+grep 'attempt budget 2' "$SHARD_TMP/coord-fail-detail.txt"
+grep 'shard 1: QUARANTINED after 2 attempts' "$SHARD_TMP/coord-fail-detail.txt"
+grep 'FLIT_WORK_FAIL: injected deterministic failure' "$SHARD_TMP/coord-fail-detail.txt"
+# Now the crash the lease protocol exists for: SIGKILL the straggler so
+# its table4 leases expire and worker B re-leases and drains them.
+kill -9 "$WORKA_PID"
+wait "$WORKB_PID"
+grep 'campaigns terminal (5 shards completed here, 0 lost to re-lease, 2 failed)' "$SHARD_TMP/workB.txt"
+grep 'quarantined (attempt budget exhausted)' "$SHARD_TMP/workB-stats.txt"
+grep 'coord: completed=5 lost=0 failed=2' "$SHARD_TMP/workB-stats.txt"
+# A terminally failed campaign makes the coordinator's own exit non-zero.
+COORD_EXIT=0
+wait "$COORD_PID" || COORD_EXIT=$?
+test "$COORD_EXIT" -ne 0
 grep "campaign $CAMPAIGN4: 2/2 shards complete, [1-9][0-9]* re-leases" "$SHARD_TMP/coord.txt"
 grep "campaign $CAMPAIGN3: 2/2 shards complete, 0 re-leases" "$SHARD_TMP/coord.txt"
+grep "campaign $CAMPAIGN2: FAILED" "$SHARD_TMP/coord.txt"
+grep 'failed terminally' "$SHARD_TMP/coord.txt"
 test "$(grep -c 'artifact set validated' "$SHARD_TMP/coord.txt")" -eq 2
 "$SHARD_TMP/flit" experiments -j 2 table4 >"$SHARD_TMP/coord-unsharded.txt"
 "$SHARD_TMP/flit" merge -j 2 "$COORD_DIR/artifacts/$CAMPAIGN4"/shard-*.json \
@@ -237,6 +286,13 @@ diff "$SHARD_TMP/coord-unsharded.txt" "$SHARD_TMP/coord-merged.txt"
 "$SHARD_TMP/flit" merge -j 2 "$COORD_DIR/artifacts/$CAMPAIGN3"/shard-*.json \
 	>"$SHARD_TMP/coord-merged3.txt"
 diff "$SHARD_TMP/coord-unsharded3.txt" "$SHARD_TMP/coord-merged3.txt"
+# The failed campaign's surviving partial artifact set refuses to merge,
+# naming the quarantined shard exactly.
+FAILMERGE=0
+"$SHARD_TMP/flit" merge "$COORD_DIR/artifacts/$CAMPAIGN2"/shard-*.json \
+	>/dev/null 2>"$SHARD_TMP/coord-fail-merge.txt" || FAILMERGE=$?
+test "$FAILMERGE" -ne 0
+grep 'missing shard indices \[1\]' "$SHARD_TMP/coord-fail-merge.txt"
 
 # Record the engine's perf trajectory (appends one JSON line per bench run).
 BENCH_SHARD_JSON="$PWD/BENCH_shard.json" \
